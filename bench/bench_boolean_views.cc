@@ -1,0 +1,52 @@
+// E-4.6: the exact Boolean-view determinacy decision — exponential in the
+// number of views (2^|V| truth patterns) and in the query's variable count
+// (merge enumeration), but exact where the general problem is undecidable.
+
+#include <benchmark/benchmark.h>
+
+#include "core/boolean_views.h"
+#include "gen/workloads.h"
+
+namespace vqdr {
+namespace {
+
+ViewSet CycleViews(int count) {
+  // V_i = "a directed cycle of length i exists".
+  ViewSet views;
+  for (int i = 1; i <= count; ++i) {
+    std::string name = "V" + std::to_string(i);
+    views.Add(name, Query::FromCq(CycleQuery(i, "E", name)));
+  }
+  return views;
+}
+
+void BM_BooleanDecisionVsViewCount(benchmark::State& state) {
+  ViewSet views = CycleViews(static_cast<int>(state.range(0)));
+  ConjunctiveQuery q = CycleQuery(2, "E", "Q");
+  bool determined = false;
+  for (auto _ : state) {
+    auto result = DecideBooleanViewDeterminacy(views, q);
+    determined = result.determined;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["views"] = static_cast<double>(state.range(0));
+  state.counters["determined"] = determined ? 1 : 0;
+}
+BENCHMARK(BM_BooleanDecisionVsViewCount)->DenseRange(1, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BooleanDecisionVsQuerySize(benchmark::State& state) {
+  ViewSet views = CycleViews(2);
+  ConjunctiveQuery q = CycleQuery(static_cast<int>(state.range(0)), "E", "Q");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecideBooleanViewDeterminacy(views, q));
+  }
+  state.counters["query_vars"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BooleanDecisionVsQuerySize)->DenseRange(1, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vqdr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Substrate benchmark: CQ/UCQ containment (Chandra–Merlin / Sagiv–
+// Yannakakis) and core minimisation — the NP-complete engine everything
+// else calls into. The shape to observe: chain-into-chain containment is
+// polynomial in practice (pruned backtracking), disequality patterns pay
+// the Bell-number factor, minimisation is quadratic in atoms times a
+// containment call.
+
+#include <benchmark/benchmark.h>
+
+#include "cq/containment.h"
+#include "cq/minimize.h"
+#include "gen/workloads.h"
+
+namespace vqdr {
+namespace {
+
+void BM_CqContainmentChains(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  ConjunctiveQuery longer = ChainQuery(2 * n);
+  ConjunctiveQuery shorter = ChainQuery(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CqContainedIn(longer, shorter));
+  }
+  state.counters["atoms"] = static_cast<double>(2 * n);
+}
+BENCHMARK(BM_CqContainmentChains)->DenseRange(1, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CqContainmentCycles(benchmark::State& state) {
+  // Cycle-into-cycle: divisibility structure, harder hom search.
+  int n = static_cast<int>(state.range(0));
+  ConjunctiveQuery big = CycleQuery(2 * n);
+  ConjunctiveQuery small = CycleQuery(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CqContainedIn(big, small));
+  }
+}
+BENCHMARK(BM_CqContainmentCycles)->DenseRange(2, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CqContainmentWithDisequality(benchmark::State& state) {
+  // The Bell-number blowup: q1 pure with k variables, q2 with one ≠.
+  int n = static_cast<int>(state.range(0));
+  ConjunctiveQuery q1 = ChainQuery(n);
+  ConjunctiveQuery q2 = ChainQuery(n);
+  q2.AddDisequality(Term::Var("x0"), Term::Var("x" + std::to_string(n)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CqContainedIn(q1, q2));
+  }
+  state.counters["vars"] = static_cast<double>(n + 1);
+}
+BENCHMARK(BM_CqContainmentWithDisequality)->DenseRange(1, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MinimizeStar(benchmark::State& state) {
+  // All arms of a star are redundant: n-1 successful removals.
+  ConjunctiveQuery q = StarQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimizeCq(q));
+  }
+}
+BENCHMARK(BM_MinimizeStar)->DenseRange(2, 8)->Unit(benchmark::kMicrosecond);
+
+void BM_MinimizeIrreducibleChain(benchmark::State& state) {
+  // Nothing removable: n failed removal attempts.
+  ConjunctiveQuery q = ChainQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimizeCq(q));
+  }
+}
+BENCHMARK(BM_MinimizeIrreducibleChain)->DenseRange(2, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_UcqContainment(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  UnionQuery left, right;
+  for (int i = 1; i <= n; ++i) {
+    left.AddDisjunct(ChainQuery(2 * i, "E", "Q"));
+    right.AddDisjunct(ChainQuery(i, "E", "Q"));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UcqContainedIn(left, right));
+  }
+  state.counters["disjuncts"] = static_cast<double>(n);
+}
+BENCHMARK(BM_UcqContainment)->DenseRange(1, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vqdr
+
+BENCHMARK_MAIN();

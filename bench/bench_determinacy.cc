@@ -1,0 +1,73 @@
+// E-3.7 / E-5.11: scaling of the unrestricted determinacy decision
+// (Theorem 3.7) — freeze, view-apply, inverse-chase, containment test —
+// across chain-query length and path-view vocabulary size.
+
+#include <benchmark/benchmark.h>
+
+#include "core/determinacy.h"
+#include "gen/workloads.h"
+
+namespace vqdr {
+namespace {
+
+// Decision cost as the query grows, with a fixed view vocabulary {P1, P2}.
+void BM_DeterminacyVsQueryLength(benchmark::State& state) {
+  ViewSet views = PathViews(2);
+  ConjunctiveQuery q = ChainQuery(static_cast<int>(state.range(0)));
+  bool determined = false;
+  for (auto _ : state) {
+    determined = DecideUnrestrictedDeterminacy(views, q).determined;
+    benchmark::DoNotOptimize(determined);
+  }
+  state.counters["determined"] = determined ? 1 : 0;
+  state.counters["query_atoms"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DeterminacyVsQueryLength)->DenseRange(1, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+// Decision cost as the view vocabulary grows, fixed query chain-5.
+void BM_DeterminacyVsViewCount(benchmark::State& state) {
+  ViewSet views = PathViews(static_cast<int>(state.range(0)));
+  ConjunctiveQuery q = ChainQuery(5);
+  bool determined = false;
+  for (auto _ : state) {
+    determined = DecideUnrestrictedDeterminacy(views, q).determined;
+    benchmark::DoNotOptimize(determined);
+  }
+  state.counters["determined"] = determined ? 1 : 0;
+  state.counters["views"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DeterminacyVsViewCount)->DenseRange(1, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+// The non-determined side: only even-length path views, odd query. The
+// chase still runs fully; the final containment test fails.
+void BM_DeterminacyNegativeCase(benchmark::State& state) {
+  ViewSet views;
+  views.Add("P2", Query::FromCq(ChainQuery(2, "E", "P2")));
+  ConjunctiveQuery q = ChainQuery(static_cast<int>(state.range(0)));
+  bool determined = true;
+  for (auto _ : state) {
+    determined = DecideUnrestrictedDeterminacy(views, q).determined;
+    benchmark::DoNotOptimize(determined);
+  }
+  state.counters["determined"] = determined ? 1 : 0;
+}
+BENCHMARK(BM_DeterminacyNegativeCase)->Arg(3)->Arg(5)->Arg(7)
+    ->Unit(benchmark::kMicrosecond);
+
+// Star queries: minimisation-heavy shape (all arms redundant).
+void BM_DeterminacyStarQuery(benchmark::State& state) {
+  ViewSet views = PathViews(1);
+  ConjunctiveQuery q = StarQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecideUnrestrictedDeterminacy(views, q));
+  }
+}
+BENCHMARK(BM_DeterminacyStarQuery)->DenseRange(1, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vqdr
+
+BENCHMARK_MAIN();

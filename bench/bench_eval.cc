@@ -1,0 +1,107 @@
+// E-F1: the language zoo of Figure 1, measured — the same semantic query
+// (paths of length 2 over a random graph) evaluated as CQ, UCQ, FO and
+// Datalog, plus transitive closure where only Datalog applies. The shape
+// to observe: CQ/UCQ join evaluation ≪ active-domain FO ≪ anything
+// second-order (see bench_so in this binary, budget-capped).
+
+#include <benchmark/benchmark.h>
+
+#include "cq/matcher.h"
+#include "datalog/program.h"
+#include "fo/from_cq.h"
+#include "fo/evaluator.h"
+#include "fo/parser.h"
+#include "gen/workloads.h"
+#include "so/so_query.h"
+
+namespace vqdr {
+namespace {
+
+Instance Graph(int nodes) { return RandomGraph(nodes, 3 * nodes, 42); }
+
+void BM_EvalCq(benchmark::State& state) {
+  ConjunctiveQuery q = ChainQuery(2);
+  Instance d = Graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateCq(q, d));
+  }
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_EvalCq)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EvalUcq(benchmark::State& state) {
+  UnionQuery q;
+  q.AddDisjunct(ChainQuery(2, "E", "Q"));
+  q.AddDisjunct(ChainQuery(3, "E", "Q"));
+  Instance d = Graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateUcq(q, d));
+  }
+}
+BENCHMARK(BM_EvalUcq)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EvalFo(benchmark::State& state) {
+  // The same path-2 query through the FO evaluator (active-domain
+  // quantification): the cost of generality.
+  FoQuery q = CqToFoQuery(ChainQuery(2));
+  Instance d = Graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateFo(q, d));
+  }
+}
+BENCHMARK(BM_EvalFo)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EvalDatalogTc(benchmark::State& state) {
+  NamePool pool;
+  DatalogProgram program =
+      ParseDatalog("T(x, y) :- E(x, y); T(x, y) :- E(x, z), T(z, y)", pool)
+          .value();
+  Instance d = Graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(program.Query(d, "T"));
+  }
+}
+BENCHMARK(BM_EvalDatalogTc)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EvalExistsSo(benchmark::State& state) {
+  // 2-colorability on tiny graphs: the exponential wall of ∃SO.
+  NamePool pool;
+  SoQuery q;
+  q.existential = true;
+  q.relation_vars = {{"C", 1}};
+  FoQuery matrix;
+  matrix.formula =
+      ParseFo("forall x, y . (E(x, y) -> "
+              "(C(x) & !C(y)) | (!C(x) & C(y)))",
+              pool)
+          .value();
+  q.matrix = matrix;
+  Instance d = PathInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = EvaluateSo(q, d);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EvalExistsSo)->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HomomorphismSearch(benchmark::State& state) {
+  // Boolean chain query into a random graph: the raw hom-search engine.
+  ConjunctiveQuery q = CycleQuery(static_cast<int>(state.range(0)));
+  Instance d = Graph(24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CqHolds(q, d));
+  }
+  state.counters["cycle_len"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_HomomorphismSearch)->DenseRange(2, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vqdr
+
+BENCHMARK_MAIN();

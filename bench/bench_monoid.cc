@@ -1,0 +1,102 @@
+// E-4.5: the Theorem 4.5 reduction — construction size of V and Q_{H,F}
+// as |H| grows, view application on monoidal graphs, and the bounded
+// monoidal-function search (the undecidability boundary made tangible:
+// the search explodes in the element bound).
+
+#include <benchmark/benchmark.h>
+
+#include "cq/matcher.h"
+#include "reductions/monoid.h"
+
+namespace vqdr {
+namespace {
+
+WordProblem ChainProblem(int n) {
+  // a1*a1 = a2, a2*a2 = a3, …  F: a1 = an.
+  WordProblem p;
+  for (int i = 1; i < n; ++i) {
+    p.hypotheses.push_back({"a" + std::to_string(i), "a" + std::to_string(i),
+                            "a" + std::to_string(i + 1)});
+  }
+  p.lhs = "a1";
+  p.rhs = "a" + std::to_string(n);
+  return p;
+}
+
+void BM_MonoidQueryConstruction(benchmark::State& state) {
+  WordProblem problem = ChainProblem(static_cast<int>(state.range(0)));
+  std::size_t atoms = 0;
+  for (auto _ : state) {
+    UnionQuery q = MonoidQuery(problem, /*use_equality=*/false);
+    atoms = 0;
+    for (const ConjunctiveQuery& d : q.disjuncts()) atoms += d.atoms().size();
+    benchmark::DoNotOptimize(q);
+  }
+  state.counters["H"] = static_cast<double>(state.range(0) - 1);
+  state.counters["query_atoms"] = static_cast<double>(atoms);
+}
+BENCHMARK(BM_MonoidQueryConstruction)->DenseRange(2, 10)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MonoidViewApplication(benchmark::State& state) {
+  // Apply the fixed view set to the graph of Z_n (cyclic group).
+  int n = static_cast<int>(state.range(0));
+  Instance d(MonoidSchema());
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      d.AddFact("R", Tuple{Value(a + 1), Value(b + 1),
+                           Value((a + b) % n + 1)});
+    }
+  }
+  d.GetMutable("p1").SetBool(true);
+  for (bool use_equality : {false}) {
+    ViewSet views = MonoidViews(use_equality);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(views.Apply(d));
+    }
+  }
+  state.counters["group_order"] = static_cast<double>(n);
+}
+BENCHMARK(BM_MonoidViewApplication)->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MonoidalFunctionSearch(benchmark::State& state) {
+  // Bounded search on a non-implication: counterexample found quickly at
+  // size 2, but the table space is |X|^(|X|²).
+  WordProblem commutativity;
+  commutativity.hypotheses = {{"a", "b", "c"}, {"b", "a", "d"}};
+  commutativity.lhs = "c";
+  commutativity.rhs = "d";
+  int bound = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SearchMonoidalCounterexample(commutativity, bound));
+  }
+}
+BENCHMARK(BM_MonoidalFunctionSearch)->DenseRange(1, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MonoidalFunctionSearchExhaustive(benchmark::State& state) {
+  // An implication that HOLDS: the search must sweep the entire space —
+  // the exponential face of the word problem.
+  WordProblem functional;
+  functional.hypotheses = {{"a", "b", "c"}, {"a", "b", "d"}};
+  functional.lhs = "c";
+  functional.rhs = "d";
+  int bound = static_cast<int>(state.range(0));
+  std::uint64_t monoidal = 0;
+  for (auto _ : state) {
+    MonoidalSearchResult result =
+        SearchMonoidalCounterexample(functional, bound);
+    monoidal = result.monoidal_functions;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["monoidal_functions"] = static_cast<double>(monoidal);
+}
+BENCHMARK(BM_MonoidalFunctionSearchExhaustive)->DenseRange(1, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vqdr
+
+BENCHMARK_MAIN();

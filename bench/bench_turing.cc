@@ -1,0 +1,75 @@
+// E-5.1: the Turing-machine construction — building and verifying
+// computation-encoding instances (the semantics of φ_M), and the view /
+// query evaluation on them. The shape to observe: instance size grows with
+// |adom(R1)|² (the tape) times steps, and verification is linear in it —
+// query answering through these views is "run the machine", i.e. Turing-
+// complete in the machine parameter.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/workloads.h"
+#include "reductions/turing.h"
+
+namespace vqdr {
+namespace {
+
+Relation InputGraph(int nodes) {
+  Instance d = RandomGraph(nodes, 2 * nodes, 11);
+  return d.Get("E");
+}
+
+void BM_BuildComputationInstance(benchmark::State& state) {
+  SimpleTm tm = ComplementTm();
+  Relation graph = InputGraph(static_cast<int>(state.range(0)));
+  std::size_t tuples = 0;
+  for (auto _ : state) {
+    auto instance = BuildComputationInstance(tm, graph);
+    benchmark::DoNotOptimize(instance);
+    if (instance.ok()) tuples = instance->TupleCount();
+  }
+  state.counters["instance_tuples"] = static_cast<double>(tuples);
+}
+BENCHMARK(BM_BuildComputationInstance)->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VerifyComputationInstance(benchmark::State& state) {
+  SimpleTm tm = ComplementTm();
+  Relation graph = InputGraph(static_cast<int>(state.range(0)));
+  Instance instance = BuildComputationInstance(tm, graph).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VerifyComputationInstance(tm, instance));
+  }
+}
+BENCHMARK(BM_VerifyComputationInstance)->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TuringQueryEval(benchmark::State& state) {
+  SimpleTm tm = ComplementTm();
+  Query q = TuringQuery(tm);
+  Relation graph = InputGraph(static_cast<int>(state.range(0)));
+  Instance instance = BuildComputationInstance(tm, graph).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Eval(instance));
+  }
+}
+BENCHMARK(BM_TuringQueryEval)->DenseRange(2, 5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TmSimulation(benchmark::State& state) {
+  // The raw substrate: machine steps on a growing tape.
+  SimpleTm tm = ComplementTm();
+  std::string input(static_cast<std::size_t>(state.range(0)), '0');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tm.Run(input, static_cast<int>(input.size()) + 8,
+               static_cast<int>(input.size()) + 8));
+  }
+  state.counters["tape_cells"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_TmSimulation)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vqdr
+
+BENCHMARK_MAIN();

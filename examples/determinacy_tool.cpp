@@ -1,0 +1,123 @@
+// A command-line determinacy analyst: reads a scenario (schema, views,
+// query) from a file or stdin and runs the full battery — chase decision,
+// rewriting synthesis, bounded refutation search, monotonicity probe.
+//
+// Scenario format (line oriented; '#' comments):
+//
+//   schema R/2 P/1
+//   view   V1(x) :- R(x, y)
+//   view   V2(x) :- P(x)
+//   query  Q(x) :- R(x, y), P(y)
+//   bound  2            # optional search domain size (default 2)
+//
+// Usage:  ./build/examples/determinacy_tool [scenario-file]
+//         (no argument: reads stdin)
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "base/string_util.h"
+#include "core/report.h"
+#include "cq/parser.h"
+
+using namespace vqdr;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) return Fail(std::string("cannot open ") + argv[1]);
+    in = &file;
+  }
+
+  NamePool pool;
+  Schema base;
+  ViewSet views;
+  std::optional<ConjunctiveQuery> query;
+  int bound = 2;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    std::string_view text = StripWhitespace(line);
+    if (text.empty() || text[0] == '#') continue;
+    auto err = [&](const std::string& m) {
+      return Fail("line " + std::to_string(line_no) + ": " + m);
+    };
+
+    if (StartsWith(text, "schema ")) {
+      for (const std::string& piece : Split(text.substr(7), ' ')) {
+        std::string_view decl = StripWhitespace(piece);
+        if (decl.empty()) continue;
+        std::size_t slash = decl.find('/');
+        if (slash == std::string_view::npos) {
+          return err("schema entries look like Name/arity");
+        }
+        base.Add(std::string(decl.substr(0, slash)),
+                 std::atoi(std::string(decl.substr(slash + 1)).c_str()));
+      }
+    } else if (StartsWith(text, "view ")) {
+      auto q = ParseCq(text.substr(5), pool);
+      if (!q.ok()) return err(q.status().message());
+      if (!q->IsPureCq()) {
+        return err("the analysis battery requires pure CQ views");
+      }
+      std::string name = q->head_name();
+      views.Add(std::move(name), Query::FromCq(std::move(q).value()));
+    } else if (StartsWith(text, "query ")) {
+      auto q = ParseCq(text.substr(6), pool);
+      if (!q.ok()) return err(q.status().message());
+      if (!q->IsPureCq()) return err("the query must be a pure CQ");
+      query = std::move(q).value();
+    } else if (StartsWith(text, "bound ")) {
+      bound = std::atoi(std::string(text.substr(6)).c_str());
+      if (bound < 1 || bound > 4) return err("bound must be 1..4");
+    } else {
+      return err("expected 'schema', 'view', 'query' or 'bound'");
+    }
+  }
+
+  if (!query.has_value()) return Fail("no query given");
+  if (views.empty()) return Fail("no views given");
+  if (base.decls().empty()) base = query->BodySchema();
+
+  std::cout << "schema: " << base.ToString() << "\nviews:\n"
+            << views.ToString() << "query: " << CqToString(*query, pool)
+            << "\n\n";
+
+  DeterminacyAnalysisOptions opts;
+  opts.search.domain_size = bound;
+  DeterminacyReport report = AnalyzeDeterminacy(views, *query, base, opts);
+  std::cout << report.Summary() << "\n";
+
+  if (report.rewriting.has_value()) {
+    std::cout << "\nrewriting: " << CqToString(*report.rewriting, pool)
+              << "\n";
+  }
+  if (report.counterexample.has_value()) {
+    std::cout << "\ncounterexample pair (equal view images, different "
+                 "answers):\nD1:\n"
+              << InstanceToString(report.counterexample->d1, pool) << "D2:\n"
+              << InstanceToString(report.counterexample->d2, pool);
+  }
+  if (report.monotonicity_violation.has_value()) {
+    std::cout << "\nmonotonicity violation of Q_V found (no monotonic "
+                 "rewriting language suffices):\nD1:\n"
+              << InstanceToString(report.monotonicity_violation->d1, pool)
+              << "D2:\n"
+              << InstanceToString(report.monotonicity_violation->d2, pool);
+  }
+  return 0;
+}

@@ -1,0 +1,251 @@
+// One-binary paper replication: walks through every machine-checkable
+// claim of Segoufin & Vianu (PODS 2005) and prints a verdict table.
+// Each row re-derives the claim from scratch with the library's machinery
+// (no canned answers); the expected column states what the paper proves.
+//
+// Build & run:  ./build/examples/paper_replication
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "chase/chain.h"
+#include "core/boolean_views.h"
+#include "core/determinacy.h"
+#include "core/finite_search.h"
+#include "core/query_answering.h"
+#include "core/rewriting.h"
+#include "core/twin_encoding.h"
+#include "cq/containment.h"
+#include "cq/matcher.h"
+#include "cq/parser.h"
+#include "fo/evaluator.h"
+#include "fo/parser.h"
+#include "gen/workloads.h"
+#include "reductions/counterexamples.h"
+#include "reductions/gimp.h"
+#include "reductions/monoid.h"
+#include "reductions/order_views.h"
+#include "reductions/turing.h"
+
+using namespace vqdr;
+
+namespace {
+
+int passed = 0, failed = 0;
+
+void Row(const std::string& id, const std::string& claim, bool ok) {
+  std::cout << std::left << std::setw(10) << id << std::setw(62) << claim
+            << (ok ? "PASS" : "FAIL") << "\n";
+  (ok ? passed : failed) += 1;
+}
+
+}  // namespace
+
+int main() {
+  NamePool pool;
+  std::cout << "Replicating: Segoufin & Vianu, 'Views and Queries: "
+               "Determinacy and Rewriting' (PODS 2005)\n\n";
+  std::cout << std::left << std::setw(10) << "result" << std::setw(62)
+            << "machine-checked claim" << "verdict\n";
+  std::cout << std::string(80, '-') << "\n";
+
+  // --- Theorem 3.3 / 3.7: chase decision + canonical rewriting ---
+  {
+    ViewSet views = PathViews(2);
+    ConjunctiveQuery q = ChainQuery(4);
+    auto det = DecideUnrestrictedDeterminacy(views, q);
+    auto rewriting = FindCqRewriting(views, q);
+    bool ok = det.determined && rewriting.exists &&
+              CqEquivalent(ExpandRewriting(*rewriting.rewriting, views), q);
+    Row("Thm 3.3/7", "chase decides {P1,P2} |= chain-4 and yields Q_V", ok);
+
+    ViewSet p2only;
+    p2only.Add("P2", Query::FromCq(ChainQuery(2, "E", "P2")));
+    bool neg = !DecideUnrestrictedDeterminacy(p2only, ChainQuery(3)).determined;
+    Row("Thm 3.3/7", "chase refutes {P2} |= chain-3 (parity lost)", neg);
+  }
+
+  // --- Proposition 3.6: chain properties ---
+  {
+    ViewSet views;
+    views.Add("P1", Query::FromCq(ChainQuery(1, "E", "P1")));
+    views.Add("P3", Query::FromCq(ChainQuery(3, "E", "P3")));
+    ValueFactory factory;
+    ChaseChain chain = BuildChaseChain(views, ChainQuery(2), 2, factory);
+    bool ok = true;
+    for (int k = 1; k <= 2; ++k) {
+      ok = ok && chain.s[k - 1].IsExtendedBy(chain.s_prime[k]) &&
+           chain.s_prime[k].IsExtendedBy(chain.s[k]) &&
+           chain.d[k - 1].IsExtendedBy(chain.d[k]) &&
+           chain.d_prime[k - 1].IsExtendedBy(chain.d_prime[k]);
+    }
+    Row("Prop 3.6", "chase-chain extension properties hold level by level",
+        ok);
+  }
+
+  // --- Example 3.2 / Prop 5.7: order views determine order-invariant Q ---
+  {
+    Schema sigma{{"P", 1}};
+    FoQuery phi;
+    phi.formula = ParseFo("exists x, y . Lt(x, y)", pool).value();
+    Query q = OrderGuardedQuery(phi, sigma, "Lt");
+    Schema full = sigma;
+    full.Add("Lt", 2);
+    EnumerationOptions opts;
+    opts.domain_size = 2;
+    bool ex32 = SearchDeterminacyCounterexample(Example32Views(sigma, "Lt"),
+                                                q, full, opts)
+                    .verdict == SearchVerdict::kNoneWithinBound;
+    bool p57 = SearchDeterminacyCounterexample(Prop57Views(sigma, "Lt"), q,
+                                               full, opts)
+                   .verdict == SearchVerdict::kNoneWithinBound;
+    Row("Ex 3.2", "FO order views determine Q_phi (no refutation, n<=2)",
+        ex32);
+    Row("Prop 5.7", "CQ-not order views determine Q_phi likewise", p57);
+  }
+
+  // --- Theorem 4.5: monoid reduction, both directions ---
+  {
+    WordProblem comm{{{"a", "b", "c"}, {"b", "a", "d"}}, "c", "d"};
+    auto search = SearchMonoidalCounterexample(comm, 3);
+    bool ok = !search.implies_up_to_bound;
+    if (ok) {
+      auto pair = MonoidCounterexampleToInstances(*search.counterexample);
+      for (bool eq : {true, false}) {
+        ViewSet views = MonoidViews(eq);
+        UnionQuery q = MonoidQuery(comm, eq);
+        ok = ok &&
+             views.Apply(pair.d1).ToKey() == views.Apply(pair.d2).ToKey() &&
+             EvaluateUcq(q, pair.d1) != EvaluateUcq(q, pair.d2);
+      }
+    }
+    Row("Thm 4.5", "word-problem counterexample refutes UCQ determinacy",
+        ok);
+
+    WordProblem func{{{"a", "b", "c"}, {"a", "b", "d"}}, "c", "d"};
+    Row("Thm 4.5", "implied F: no monoidal counterexample up to size 3",
+        SearchMonoidalCounterexample(func, 3).implies_up_to_bound);
+  }
+
+  // --- Theorem 4.6: Boolean views decided exactly ---
+  {
+    ViewSet v1;
+    v1.Add("V", Query::FromCq(ParseCq("V() :- E(x, x)", pool).value()));
+    bool pos = DecideBooleanViewDeterminacy(
+                   v1, ParseCq("Q() :- E(y, y)", pool).value())
+                   .determined;
+    ViewSet v2;
+    v2.Add("V", Query::FromCq(ParseCq("V() :- E(x, y)", pool).value()));
+    auto refuted = DecideBooleanViewDeterminacy(
+        v2, ParseCq("Q() :- E(x, x)", pool).value());
+    bool neg = !refuted.determined && refuted.counterexample.has_value() &&
+               v2.Apply(refuted.counterexample->d1) ==
+                   v2.Apply(refuted.counterexample->d2);
+    Row("Thm 4.6", "Boolean-view decision: positive case", pos);
+    Row("Thm 4.6", "Boolean-view decision: refutation with witness pair",
+        neg);
+  }
+
+  // --- Theorem 5.1: Turing construction ---
+  {
+    SimpleTm tm = ComplementTm();
+    Relation graph(2, {MakeTuple({1, 2}), MakeTuple({2, 1})});
+    auto d1 = BuildComputationInstance(tm, graph);
+    auto d2 = BuildComputationInstance(tm, graph, /*extra_elements=*/9);
+    ViewSet views = TuringViews(tm);
+    Query q = TuringQuery(tm);
+    bool ok = d1.ok() && d2.ok() &&
+              views.Apply(d1.value()) == views.Apply(d2.value()) &&
+              q.Eval(d1.value()) == q.Eval(d2.value()) &&
+              q.Eval(d1.value()) ==
+                  ComplementWithinAdom(views.Apply(d1.value()).Get("VR1"));
+    Row("Thm 5.1", "Q = q o V on computation instances (q = complement)",
+        ok);
+  }
+
+  // --- Theorem 5.2 / Lemma 5.3: query answering through views ---
+  {
+    Schema base{{"E", 2}};
+    ViewSet views = PathViews(1);
+    Query q = Query::FromCq(ChainQuery(2));
+    Instance d = PathInstance(3);
+    QueryAnsweringOptions opts;
+    opts.extra_values = 0;
+    auto answer = AnswerViaPreimage(views, q, base, views.Apply(d), opts);
+    Row("Lem 5.3", "NP-style pre-image answering reproduces Q_V",
+        answer.ok() && answer->answer == q.Eval(d));
+  }
+
+  // --- Theorem 5.4: GIMP / parity through views ---
+  {
+    auto gimp = BuildParityGimp();
+    bool ok = gimp.ok();
+    if (ok) {
+      const GimpConstruction& g = gimp->construction;
+      auto build = [&](const std::vector<int>& order) {
+        Instance dp(g.tau_prime());
+        int n = static_cast<int>(order.size());
+        for (int i = 1; i <= n; ++i) dp.AddFact("U", Tuple{Value(i)});
+        for (int i = 0; i < n; ++i) {
+          for (int j = i + 1; j < n; ++j) {
+            dp.AddFact("Ord", Tuple{Value(order[i]), Value(order[j])});
+          }
+          if (i % 2 == 0) dp.AddFact("Alt", Tuple{Value(order[i])});
+        }
+        dp.GetMutable("T").SetBool(n % 2 == 0);
+        return g.CompleteInstance(dp);
+      };
+      Instance c1 = build({1, 2, 3});
+      Instance c2 = build({3, 1, 2});
+      ok = g.views().Apply(c1) == g.views().Apply(c2) &&
+           g.query().Eval(c1) == g.query().Eval(c2) &&
+           !g.query().Eval(c1).AsBool();
+    }
+    Row("Thm 5.4", "GIMP views compute EVEN without revealing the order",
+        ok);
+  }
+
+  // --- Propositions 5.8 / 5.12: non-monotone Q_V ---
+  {
+    NonMonotonicityFamily f58 = Prop58Family(pool);
+    bool ok58 =
+        f58.witness.view_image1.IsSubInstanceOf(f58.witness.view_image2) &&
+        !f58.query.Eval(f58.witness.d1)
+             .IsSubsetOf(f58.query.Eval(f58.witness.d2));
+    EnumerationOptions opts;
+    opts.domain_size = 2;
+    ok58 = ok58 && SearchDeterminacyCounterexample(
+                       f58.views, f58.query, f58.base, opts)
+                           .verdict == SearchVerdict::kNoneWithinBound;
+    Row("Prop 5.8", "UCQ views: determined yet Q_V non-monotonic", ok58);
+
+    NonMonotonicityFamily f512 = Prop512Family(pool);
+    bool ok512 =
+        f512.witness.view_image1.IsSubInstanceOf(f512.witness.view_image2) &&
+        !f512.query.Eval(f512.witness.d1)
+             .IsSubsetOf(f512.query.Eval(f512.witness.d2));
+    Row("Prop 5.12", "CQ!= views: determined yet Q_V non-monotonic", ok512);
+  }
+
+  // --- Section 4: twin-schema encoding agrees with direct search ---
+  {
+    Schema base{{"E", 2}};
+    ViewSet views;
+    views.Add("V", Query::FromCq(ParseCq("V(x) :- E(x, y)", pool).value()));
+    Query q = Query::FromCq(ParseCq("Q(x, y) :- E(x, y)", pool).value());
+    EnumerationOptions opts;
+    opts.domain_size = 2;
+    auto twin = BoundedTwinSearch(BuildTwinEncoding(views, q, base), base,
+                                  opts);
+    auto direct = SearchDeterminacyCounterexample(views, q, base, opts);
+    Row("Sec 4",
+        "twin-schema FO encoding finds the same refutation as search",
+        twin.verdict == SearchVerdict::kCounterexampleFound &&
+            direct.verdict == SearchVerdict::kCounterexampleFound);
+  }
+
+  std::cout << std::string(80, '-') << "\n";
+  std::cout << passed << " claims replicated, " << failed << " failed\n";
+  return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+#include "base/check.h"
+
+namespace vqdr::internal {
+
+void CheckFailed(const char* file, int line, const char* cond,
+                 const std::string& message) {
+  std::cerr << "[vqdr] CHECK failed at " << file << ":" << line << ": " << cond;
+  if (!message.empty()) {
+    std::cerr << " — " << message;
+  }
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace vqdr::internal

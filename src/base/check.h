@@ -1,0 +1,60 @@
+#ifndef VQDR_BASE_CHECK_H_
+#define VQDR_BASE_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+// Internal-invariant checking macros. A failed check prints the location and
+// the failing condition and aborts; they are enabled in all build modes since
+// the library's correctness claims (decision procedures, reductions) rest on
+// these invariants holding.
+
+namespace vqdr::internal {
+
+// Streams the failure message and aborts. Out-of-line so that the macro
+// expansion stays small.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* cond,
+                              const std::string& message);
+
+// Accumulates an optional human-readable message for VQDR_CHECK << "...".
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* cond)
+      : file_(file), line_(line), cond_(cond) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, cond_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* cond_;
+  std::ostringstream stream_;
+};
+
+}  // namespace vqdr::internal
+
+// VQDR_CHECK(cond) << "extra context";
+#define VQDR_CHECK(cond)                                               \
+  while (!(cond))                                                      \
+  ::vqdr::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define VQDR_CHECK_EQ(a, b) VQDR_CHECK((a) == (b))
+#define VQDR_CHECK_NE(a, b) VQDR_CHECK((a) != (b))
+#define VQDR_CHECK_LT(a, b) VQDR_CHECK((a) < (b))
+#define VQDR_CHECK_LE(a, b) VQDR_CHECK((a) <= (b))
+#define VQDR_CHECK_GT(a, b) VQDR_CHECK((a) > (b))
+#define VQDR_CHECK_GE(a, b) VQDR_CHECK((a) >= (b))
+
+#endif  // VQDR_BASE_CHECK_H_

@@ -1,0 +1,43 @@
+#ifndef VQDR_BASE_RNG_H_
+#define VQDR_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace vqdr {
+
+/// Deterministic, seedable pseudo-random generator (splitmix64). Used by the
+/// random-instance generators and property tests; deterministic seeds keep
+/// every test and benchmark reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability numerator/denominator.
+  bool Chance(std::uint64_t numerator, std::uint64_t denominator) {
+    return Below(denominator) < numerator;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace vqdr
+
+#endif  // VQDR_BASE_RNG_H_

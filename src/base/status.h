@@ -1,0 +1,87 @@
+#ifndef VQDR_BASE_STATUS_H_
+#define VQDR_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "base/check.h"
+
+namespace vqdr {
+
+// Minimal error-reporting types. The library does not use exceptions
+// (following the Google style guide); fallible public entry points (parsers,
+// budgeted searches) return Status or StatusOr<T>.
+
+/// A success-or-error value carrying a human-readable message on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status with the given message.
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value so `return value;` works in functions returning
+  /// StatusOr<T>.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit from an error status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    VQDR_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// The contained value; the StatusOr must be OK.
+  const T& value() const& {
+    VQDR_CHECK(ok()) << "value() on error StatusOr: " << status_.message();
+    return *value_;
+  }
+
+  T& value() & {
+    VQDR_CHECK(ok()) << "value() on error StatusOr: " << status_.message();
+    return *value_;
+  }
+
+  T&& value() && {
+    VQDR_CHECK(ok()) << "value() on error StatusOr: " << status_.message();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace vqdr
+
+#endif  // VQDR_BASE_STATUS_H_

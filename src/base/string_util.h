@@ -1,0 +1,35 @@
+#ifndef VQDR_BASE_STRING_UTIL_H_
+#define VQDR_BASE_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vqdr {
+
+/// Joins the elements of `parts` (streamed via operator<<) with `sep`.
+template <typename Container>
+std::string Join(const Container& parts, std::string_view sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) out << sep;
+    first = false;
+    out << part;
+  }
+  return out.str();
+}
+
+/// Splits `text` on `sep`, trimming nothing; empty pieces are kept.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace vqdr
+
+#endif  // VQDR_BASE_STRING_UTIL_H_

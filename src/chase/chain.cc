@@ -1,0 +1,44 @@
+#include "chase/chain.h"
+
+#include "base/check.h"
+#include "chase/view_inverse.h"
+
+namespace vqdr {
+
+ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
+                           int levels, ValueFactory& factory) {
+  VQDR_CHECK(views.AllPureCq()) << "chase chain requires pure CQ views";
+  VQDR_CHECK(q.IsPureCq()) << "chase chain requires a pure CQ query";
+  VQDR_CHECK_GE(levels, 0);
+
+  ChaseChain chain;
+  chain.frozen_query = Freeze(q, factory);
+
+  // Level 0.
+  Schema chase_schema = ChaseSchema(views, chain.frozen_query.instance.schema());
+  Instance d0(chase_schema);
+  for (const RelationDecl& decl : chain.frozen_query.instance.schema().decls()) {
+    d0.Set(decl.name, chain.frozen_query.instance.Get(decl.name));
+  }
+  chain.d.push_back(d0);
+  chain.s.push_back(views.Apply(d0));
+  chain.s_prime.push_back(Instance(views.OutputSchema()));  // S'_0 = ∅
+  Instance empty(chase_schema);
+  chain.d_prime.push_back(ViewInverse(views, empty, chain.s[0], factory));
+
+  for (int k = 0; k < levels; ++k) {
+    // S'_{k+1} = V(D'_k)
+    chain.s_prime.push_back(views.Apply(chain.d_prime[k]));
+    // D_{k+1} = V_{D_k}^{-1}(S'_{k+1})
+    chain.d.push_back(
+        ViewInverse(views, chain.d[k], chain.s_prime[k + 1], factory));
+    // S_{k+1} = V(D_{k+1})
+    chain.s.push_back(views.Apply(chain.d[k + 1]));
+    // D'_{k+1} = V_{D'_k}^{-1}(S_{k+1})
+    chain.d_prime.push_back(
+        ViewInverse(views, chain.d_prime[k], chain.s[k + 1], factory));
+  }
+  return chain;
+}
+
+}  // namespace vqdr

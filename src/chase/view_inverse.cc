@@ -1,0 +1,81 @@
+#include "chase/view_inverse.h"
+
+#include <map>
+
+#include "base/check.h"
+
+namespace vqdr {
+
+Schema ChaseSchema(const ViewSet& views, const Schema& base) {
+  Schema schema = base;
+  for (const View& v : views.views()) {
+    schema = schema.UnionWith(v.query.AsCq().BodySchema());
+  }
+  return schema;
+}
+
+Instance ViewInverse(const ViewSet& views, const Instance& base,
+                     const Instance& s_prime, ValueFactory& factory) {
+  VQDR_CHECK(views.AllPureCq()) << "ViewInverse requires pure CQ views";
+
+  // Result starts as a copy of the base over the widened schema.
+  Instance result(ChaseSchema(views, base.schema()));
+  for (const RelationDecl& d : base.schema().decls()) {
+    result.Set(d.name, base.Get(d.name));
+  }
+
+  // Everything already present must not collide with fresh values.
+  factory.NoteUsed(Value(base.MaxValueId()));
+  factory.NoteUsed(Value(s_prime.MaxValueId()));
+
+  Instance s = views.Apply(base);
+
+  for (const View& view : views.views()) {
+    const ConjunctiveQuery& q = view.query.AsCq();
+    const Relation& new_tuples = s_prime.Get(view.name);
+    const Relation& old_tuples = s.Get(view.name);
+    for (const Tuple& y : new_tuples.tuples()) {
+      if (old_tuples.Contains(y)) continue;  // already witnessed by base
+
+      // α_ȳ: unify the head terms with ȳ.
+      std::map<std::string, Value> alpha;
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        const Term& t = q.head_terms()[i];
+        if (t.is_const()) {
+          VQDR_CHECK(t.constant() == y[i])
+              << "view tuple disagrees with head constant of " << view.name;
+          continue;
+        }
+        auto it = alpha.find(t.var());
+        if (it != alpha.end()) {
+          VQDR_CHECK(it->second == y[i])
+              << "view tuple disagrees with repeated head variable of "
+              << view.name;
+        } else {
+          alpha.emplace(t.var(), y[i]);
+        }
+      }
+      // Non-head variables map to fresh distinct values (per tuple).
+      std::map<std::string, Value> fresh;
+      auto resolve = [&](const Term& t) -> Value {
+        if (t.is_const()) return t.constant();
+        auto it = alpha.find(t.var());
+        if (it != alpha.end()) return it->second;
+        auto fit = fresh.find(t.var());
+        if (fit != fresh.end()) return fit->second;
+        Value v = factory.Fresh();
+        fresh.emplace(t.var(), v);
+        return v;
+      };
+      for (const Atom& atom : q.atoms()) {
+        Tuple fact;
+        fact.reserve(atom.args.size());
+        for (const Term& t : atom.args) fact.push_back(resolve(t));
+        result.AddFact(atom.predicate, fact);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vqdr

@@ -1,0 +1,36 @@
+#ifndef VQDR_CHASE_VIEW_INVERSE_H_
+#define VQDR_CHASE_VIEW_INVERSE_H_
+
+#include "data/instance.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// The V-inverse chase of Section 3 of the paper.
+///
+/// Given CQ views **V**, a base instance D with S = V(D), and an extension
+/// S' of S, the V-inverse V_D^{-1}(S') extends D with a frozen copy of the
+/// view body for every tuple of S' not already witnessed: for ȳ ∈ S'(V)
+/// with ȳ ∉ S(V), add α_ȳ([Q_V]) where α_ȳ maps the head variables to ȳ
+/// and every other variable to a fresh value from `factory`.
+///
+/// (The paper skips tuples whose values all lie in adom(S); skipping exactly
+/// the tuples already in S is equivalent on the chase chains the paper
+/// builds — every S'-tuple over old values is already in S there — and in
+/// addition handles Boolean views, whose empty tuple never contains a new
+/// value.)
+///
+/// Requires views.AllPureCq(). If a tuple cannot be produced by its view's
+/// head pattern (repeated head variables disagreeing, or a head constant
+/// mismatch), the function aborts — such tuples cannot arise from actual
+/// view images.
+Instance ViewInverse(const ViewSet& views, const Instance& base,
+                     const Instance& s_prime, ValueFactory& factory);
+
+/// Schema for chase results: the base schema joined with every view's body
+/// schema.
+Schema ChaseSchema(const ViewSet& views, const Schema& base);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CHASE_VIEW_INVERSE_H_

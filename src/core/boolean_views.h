@@ -1,0 +1,47 @@
+#ifndef VQDR_CORE_BOOLEAN_VIEWS_H_
+#define VQDR_CORE_BOOLEAN_VIEWS_H_
+
+#include <optional>
+
+#include "core/finite_search.h"
+#include "cq/conjunctive_query.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// Exact decision procedure for *finite* determinacy when every view is a
+/// Boolean CQ (the decidable special case of Theorem 4.6).
+///
+/// With Boolean views, the view image only reveals which of the 2^|V| truth
+/// patterns holds, so V ↠ Q iff Q is constant on every realizable pattern
+/// class. Each realizable class T has a hom-minimal member D_T (the union
+/// of the frozen bodies of the views in T); by CQ monotonicity along
+/// homomorphisms:
+///
+///  * T is realizable iff no view outside T holds on D_T;
+///  * if Q holds on D_T it holds on the whole class;
+///  * otherwise Q holds somewhere in the class iff some merge
+///    W = D_T ∪ θ([Q]) (θ mapping frozen values of [Q] into adom(D_T) or
+///    into merged fresh values) stays inside class T — a finite search over
+///    identification patterns.
+///
+/// Non-Boolean queries are never determined by Boolean views unless their
+/// answer is empty on every realizable class (genericity: a value-moving
+/// permutation preserves every Boolean view image but moves a nonempty
+/// answer), which the same merge search decides.
+struct BooleanDeterminacyResult {
+  bool determined = false;
+  /// When not determined: a refuting pair with equal view images and
+  /// different query answers.
+  std::optional<DeterminacyCounterexample> counterexample;
+  /// Number of realizable truth patterns examined.
+  int realizable_classes = 0;
+};
+
+/// Requires: all views Boolean pure CQs; q a safe pure CQ.
+BooleanDeterminacyResult DecideBooleanViewDeterminacy(
+    const ViewSet& views, const ConjunctiveQuery& q);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CORE_BOOLEAN_VIEWS_H_

@@ -1,0 +1,60 @@
+#include "core/determinacy.h"
+
+#include "base/check.h"
+#include "chase/view_inverse.h"
+#include "cq/canonical.h"
+#include "cq/matcher.h"
+
+namespace vqdr {
+
+UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacy(
+    const ViewSet& views, const ConjunctiveQuery& q) {
+  VQDR_CHECK(views.AllPureCq())
+      << "unrestricted determinacy decision requires pure CQ views";
+  VQDR_CHECK(q.IsPureCq())
+      << "unrestricted determinacy decision requires a pure CQ query";
+  VQDR_CHECK(q.IsSafe()) << "query must be safe: " << q.ToString();
+
+  UnrestrictedDeterminacyResult result;
+
+  // Freeze Q; keep constants (of query and views) out of the fresh range.
+  ValueFactory factory;
+  for (const View& v : views.views()) {
+    for (Value c : v.query.AsCq().Constants()) factory.NoteUsed(c);
+  }
+  FrozenQuery frozen = Freeze(q, factory);
+
+  // [Q] over the widened chase schema (views may mention extra relations).
+  Schema chase_schema = ChaseSchema(views, frozen.instance.schema());
+  Instance d0(chase_schema);
+  for (const RelationDecl& d : frozen.instance.schema().decls()) {
+    d0.Set(d.name, frozen.instance.Get(d.name));
+  }
+
+  // S = V([Q]) and D' = V_∅^{-1}(S).
+  result.frozen_head = frozen.frozen_head;
+  result.canonical_view_image = views.Apply(d0);
+  Instance empty(chase_schema);
+  result.chase_inverse =
+      ViewInverse(views, empty, result.canonical_view_image, factory);
+
+  // Decision: x̄ ∈ Q(V_∅^{-1}(V([Q]))).
+  result.determined =
+      CqAnswerContains(q, result.chase_inverse, frozen.frozen_head);
+
+  if (result.determined) {
+    // Q_V: the CQ over σ_V whose frozen body is S and whose head is x̄.
+    // Constants of the query/views remain constants; frozen variables of
+    // [Q] become variables of Q_V.
+    std::set<Value> constants = q.Constants();
+    for (const View& v : views.views()) {
+      for (Value c : v.query.AsCq().Constants()) constants.insert(c);
+    }
+    result.canonical_rewriting =
+        InstanceToQuery(result.canonical_view_image, frozen.frozen_head,
+                        constants, q.head_name());
+  }
+  return result;
+}
+
+}  // namespace vqdr

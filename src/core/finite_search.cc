@@ -1,0 +1,82 @@
+#include "core/finite_search.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vqdr {
+
+DeterminacySearchResult SearchDeterminacyCounterexample(
+    const ViewSet& views, const Query& q, const Schema& base,
+    const EnumerationOptions& options) {
+  DeterminacySearchResult result;
+
+  // First instance and query answer seen per view-image key.
+  struct GroupInfo {
+    Instance first{Schema{}};
+    Relation answer{0};
+  };
+  std::map<std::string, GroupInfo> groups;
+
+  EnumerationOutcome outcome =
+      ForEachInstance(base, options, [&](const Instance& d) {
+        Instance image = views.Apply(d);
+        std::string key = image.ToKey();
+        Relation answer = q.Eval(d);
+        auto it = groups.find(key);
+        if (it == groups.end()) {
+          groups.emplace(key, GroupInfo{d, answer});
+          return true;
+        }
+        if (it->second.answer != answer) {
+          result.verdict = SearchVerdict::kCounterexampleFound;
+          result.counterexample =
+              DeterminacyCounterexample{it->second.first, d};
+          return false;
+        }
+        return true;
+      });
+  result.instances_examined = outcome.visited;
+  if (result.verdict != SearchVerdict::kCounterexampleFound &&
+      !outcome.complete) {
+    result.verdict = SearchVerdict::kBudgetExhausted;
+  }
+  return result;
+}
+
+MonotonicitySearchResult SearchMonotonicityViolation(
+    const ViewSet& views, const Query& q, const Schema& base,
+    const EnumerationOptions& options) {
+  MonotonicitySearchResult result;
+
+  struct Entry {
+    Instance d{Schema{}};
+    Instance image{Schema{}};
+    Relation answer{0};
+  };
+  std::vector<Entry> entries;
+
+  EnumerationOutcome outcome =
+      ForEachInstance(base, options, [&](const Instance& d) {
+        entries.push_back(Entry{d, views.Apply(d), q.Eval(d)});
+        return true;
+      });
+  result.instances_examined = outcome.visited;
+
+  for (const Entry& a : entries) {
+    for (const Entry& b : entries) {
+      if (&a == &b) continue;
+      if (!a.image.IsSubInstanceOf(b.image)) continue;
+      if (!a.answer.IsSubsetOf(b.answer)) {
+        result.verdict = SearchVerdict::kCounterexampleFound;
+        result.violation =
+            MonotonicityViolation{a.d, b.d, a.image, b.image};
+        return result;
+      }
+    }
+  }
+  if (!outcome.complete) result.verdict = SearchVerdict::kBudgetExhausted;
+  return result;
+}
+
+}  // namespace vqdr

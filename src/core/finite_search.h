@@ -1,0 +1,75 @@
+#ifndef VQDR_CORE_FINITE_SEARCH_H_
+#define VQDR_CORE_FINITE_SEARCH_H_
+
+#include <optional>
+
+#include "data/instance.h"
+#include "gen/enumerate.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// Bounded search for *finite*-determinacy counterexamples. Finite
+/// determinacy is undecidable already for UCQs (Theorem 4.5), so the
+/// library offers the two sound half-tests the theory permits:
+///
+///  * positive: unrestricted determinacy (core/determinacy.h) implies
+///    finite determinacy;
+///  * negative: an explicit pair D₁, D₂ with V(D₁)=V(D₂), Q(D₁)≠Q(D₂)
+///    refutes it. This header searches for such pairs exhaustively over all
+///    instances within a domain bound.
+
+/// A refuting pair.
+struct DeterminacyCounterexample {
+  Instance d1{Schema{}};
+  Instance d2{Schema{}};
+};
+
+/// Verdict of a bounded search.
+enum class SearchVerdict {
+  /// No counterexample exists within the bound (determinacy holds on the
+  /// searched fragment; silence, not proof).
+  kNoneWithinBound,
+  /// A counterexample was found: determinacy refuted outright.
+  kCounterexampleFound,
+  /// The instance budget ran out before covering the space.
+  kBudgetExhausted,
+};
+
+struct DeterminacySearchResult {
+  SearchVerdict verdict = SearchVerdict::kNoneWithinBound;
+  std::optional<DeterminacyCounterexample> counterexample;
+  std::uint64_t instances_examined = 0;
+};
+
+/// Enumerates every instance over `base` within `options`, groups by view
+/// image, and reports the first group on which Q disagrees.
+DeterminacySearchResult SearchDeterminacyCounterexample(
+    const ViewSet& views, const Query& q, const Schema& base,
+    const EnumerationOptions& options);
+
+/// A monotonicity violation of Q_V: V(D₁) ⊆ V(D₂) but Q(D₁) ⊄ Q(D₂).
+/// Exhibits the paper's Propositions 5.8/5.12 phenomena. Only meaningful
+/// when V determines Q on the searched fragment (callers should check).
+struct MonotonicityViolation {
+  Instance d1{Schema{}};
+  Instance d2{Schema{}};
+  Instance view_image1{Schema{}};
+  Instance view_image2{Schema{}};
+};
+
+struct MonotonicitySearchResult {
+  SearchVerdict verdict = SearchVerdict::kNoneWithinBound;
+  std::optional<MonotonicityViolation> violation;
+  std::uint64_t instances_examined = 0;
+};
+
+/// Searches for a pair witnessing non-monotonicity of the induced mapping
+/// Q_V. Quadratic in the number of enumerated instances — keep bounds small.
+MonotonicitySearchResult SearchMonotonicityViolation(
+    const ViewSet& views, const Query& q, const Schema& base,
+    const EnumerationOptions& options);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CORE_FINITE_SEARCH_H_

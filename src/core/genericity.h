@@ -1,0 +1,30 @@
+#ifndef VQDR_CORE_GENERICITY_H_
+#define VQDR_CORE_GENERICITY_H_
+
+#include "data/instance.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// Executable checks for Proposition 4.3: when V ↠ Q, the induced mapping
+/// Q_V is generic; in particular, on every instance D,
+///   (i)  adom(Q(D)) ⊆ adom(V(D)), and
+///   (ii) every permutation of dom that is an automorphism of V(D) is an
+///        automorphism of Q(D).
+/// These are necessary conditions on concrete instances — violations refute
+/// determinacy outright, and the property tests sweep them across instance
+/// families.
+
+/// Check (i) on one instance.
+bool CheckAnswerDomainContained(const ViewSet& views, const Query& q,
+                                const Instance& d);
+
+/// Check (ii) on one instance: enumerates the automorphisms of V(D)
+/// (restricted to adom(V(D)) ∪ adom(Q(D))) and verifies each fixes Q(D)
+/// setwise. Exhaustive; small instances only.
+bool CheckAutomorphismsPreserved(const ViewSet& views, const Query& q,
+                                 const Instance& d);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CORE_GENERICITY_H_

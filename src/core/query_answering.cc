@@ -1,0 +1,94 @@
+#include "core/query_answering.h"
+
+#include <vector>
+
+#include "gen/enumerate.h"
+
+namespace vqdr {
+
+namespace {
+
+// The candidate universe: adom(S) plus `extra` fresh values.
+std::vector<Value> CandidateUniverse(const Instance& s, int extra) {
+  std::set<Value> universe = s.ActiveDomain();
+  std::int64_t next = s.MaxValueId() + 1;
+  for (int i = 0; i < extra; ++i) universe.insert(Value(next + i));
+  return std::vector<Value>(universe.begin(), universe.end());
+}
+
+}  // namespace
+
+StatusOr<PreimageAnswer> AnswerViaPreimage(const ViewSet& views,
+                                           const Query& q, const Schema& base,
+                                           const Instance& s,
+                                           const QueryAnsweringOptions& opts) {
+  std::vector<Value> universe = CandidateUniverse(s, opts.extra_values);
+  std::optional<PreimageAnswer> found;
+  EnumerationOutcome outcome = ForEachInstanceOver(
+      base, universe, opts.max_instances, [&](const Instance& d) {
+        if (views.Apply(d) != s) return true;
+        found = PreimageAnswer{q.Eval(d), d, 0};
+        return false;
+      });
+  if (!found.has_value()) {
+    return Status::Error(
+        outcome.complete
+            ? "no pre-image of the view extent within the universe bound"
+            : "budget exhausted before finding a pre-image");
+  }
+  found->instances_examined = outcome.visited;
+  return *found;
+}
+
+PreimageAgreement AnswerViaAllPreimages(const ViewSet& views, const Query& q,
+                                        const Schema& base, const Instance& s,
+                                        const QueryAnsweringOptions& opts) {
+  std::vector<Value> universe = CandidateUniverse(s, opts.extra_values);
+  PreimageAgreement result;
+  std::optional<Instance> first;
+  EnumerationOutcome outcome = ForEachInstanceOver(
+      base, universe, opts.max_instances, [&](const Instance& d) {
+        if (views.Apply(d) != s) return true;
+        Relation answer = q.Eval(d);
+        if (!result.any_preimage) {
+          result.any_preimage = true;
+          result.answer = answer;
+          first = d;
+          return true;
+        }
+        if (answer != result.answer) {
+          result.all_agree = false;
+          result.disagreement = std::make_pair(*first, d);
+          return false;
+        }
+        return true;
+      });
+  result.exhaustive = outcome.complete;
+  result.instances_examined = outcome.visited;
+  return result;
+}
+
+CertainAnswers ComputeCertainAnswers(const ViewSet& views, const Query& q,
+                                     const Schema& base, const Instance& s,
+                                     const QueryAnsweringOptions& opts) {
+  std::vector<Value> universe = CandidateUniverse(s, opts.extra_values);
+  CertainAnswers result;
+  result.answer = Relation(q.arity());
+  EnumerationOutcome outcome = ForEachInstanceOver(
+      base, universe, opts.max_instances, [&](const Instance& d) {
+        if (views.Apply(d) != s) return true;
+        Relation answer = q.Eval(d);
+        if (!result.any_preimage) {
+          result.any_preimage = true;
+          result.answer = answer;
+        } else {
+          result.answer = result.answer.Intersect(answer);
+        }
+        return true;
+      });
+  result.exhaustive = outcome.complete;
+  result.instances_examined = outcome.visited;
+  return result;
+}
+
+}  // namespace vqdr

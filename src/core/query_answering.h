@@ -1,0 +1,72 @@
+#ifndef VQDR_CORE_QUERY_ANSWERING_H_
+#define VQDR_CORE_QUERY_ANSWERING_H_
+
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// The *query answering* problem of Section 5: given a view extent S in the
+/// image of V, compute Q_V(S) = Q(D) for any D with V(D) = S. When views
+/// are ∃FO, Lemma 5.3 bounds some pre-image by |adom(D)| ≤ k·|adom(S)|^k,
+/// which puts the problem in NP ∩ co-NP (Theorem 5.2, via Fagin's theorem).
+///
+/// This header makes both of the paper's algorithms executable,
+/// deterministically: the NP guess becomes an exhaustive pre-image search
+/// over instances whose values are drawn from adom(S) plus a budgeted
+/// number of fresh values.
+struct QueryAnsweringOptions {
+  /// Fresh values allowed beyond adom(S) in candidate pre-images. Lemma 5.3
+  /// justifies k·|adom(S)|^k; callers usually know a tighter bound.
+  int extra_values = 1;
+
+  /// Cap on candidate instances examined.
+  std::uint64_t max_instances = 1ull << 22;
+};
+
+/// The NP algorithm: searches for any D with V(D) = S and returns Q(D).
+/// Sound for Q_V whenever V determines Q (all pre-images then agree).
+/// Errors if no pre-image exists within the budget.
+struct PreimageAnswer {
+  Relation answer{0};
+  Instance preimage{Schema{}};
+  std::uint64_t instances_examined = 0;
+};
+StatusOr<PreimageAnswer> AnswerViaPreimage(const ViewSet& views,
+                                           const Query& q, const Schema& base,
+                                           const Instance& s,
+                                           const QueryAnsweringOptions& opts);
+
+/// The co-NP side: checks that *all* pre-images within the budget agree on
+/// Q. A disagreement is a concrete witness that V does not determine Q.
+struct PreimageAgreement {
+  bool any_preimage = false;
+  bool all_agree = true;
+  bool exhaustive = true;
+  Relation answer{0};
+  std::optional<std::pair<Instance, Instance>> disagreement;
+  std::uint64_t instances_examined = 0;
+};
+PreimageAgreement AnswerViaAllPreimages(const ViewSet& views, const Query& q,
+                                        const Schema& base, const Instance& s,
+                                        const QueryAnsweringOptions& opts);
+
+/// Certain answers cert_Q(E) = ∩ { Q(D) | V(D) = E } over the budgeted
+/// space (the related-work notion; equals Q_V(E) when V ↠ Q).
+struct CertainAnswers {
+  bool any_preimage = false;
+  bool exhaustive = true;
+  Relation answer{0};
+  std::uint64_t instances_examined = 0;
+};
+CertainAnswers ComputeCertainAnswers(const ViewSet& views, const Query& q,
+                                     const Schema& base, const Instance& s,
+                                     const QueryAnsweringOptions& opts);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CORE_QUERY_ANSWERING_H_

@@ -1,0 +1,94 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "core/query_answering.h"
+#include "core/rewriting.h"
+
+namespace vqdr {
+
+std::string DeterminacyReport::Summary() const {
+  std::ostringstream out;
+  switch (verdict) {
+    case DeterminacyVerdict::kDeterminedWithRewriting:
+      out << "DETERMINED (unrestricted chase test): the views determine the "
+             "query on all instances, finite ones included. Rewriting: "
+          << (rewriting.has_value() ? rewriting->ToString() : "<none>")
+          << ".";
+      if (monotonicity_violation.has_value()) {
+        out << " NOTE: Q_V is non-monotonic on the searched fragment, so no "
+               "monotonic rewriting language suffices.";
+      }
+      break;
+    case DeterminacyVerdict::kRefuted:
+      out << "REFUTED: two instances with equal view images disagree on the "
+             "query (finite determinacy fails, hence also unrestricted).";
+      break;
+    case DeterminacyVerdict::kOpenWithinBound:
+      out << "OPEN within the search bound: not determined in the "
+             "unrestricted sense, and no finite counterexample with up to "
+             "the configured domain size"
+          << (searches_exhaustive ? "" : " (search budget exhausted)")
+          << ". For CQs this is exactly the open territory of the paper's "
+             "Theorem 5.11.";
+      break;
+  }
+  return out.str();
+}
+
+DeterminacyReport AnalyzeDeterminacy(const ViewSet& views,
+                                     const ConjunctiveQuery& q,
+                                     const Schema& base,
+                                     const DeterminacyAnalysisOptions& opts) {
+  DeterminacyReport report;
+  report.unrestricted = DecideUnrestrictedDeterminacy(views, q);
+
+  if (report.unrestricted.determined) {
+    report.verdict = DeterminacyVerdict::kDeterminedWithRewriting;
+    CqRewritingResult rewriting = FindCqRewriting(views, q);
+    if (rewriting.exists) report.rewriting = rewriting.rewriting;
+    if (opts.probe_monotonicity) {
+      MonotonicitySearchResult probe = SearchMonotonicityViolation(
+          views, Query::FromCq(q), base, opts.search);
+      if (probe.verdict == SearchVerdict::kCounterexampleFound) {
+        report.monotonicity_violation = probe.violation;
+      }
+      if (probe.verdict == SearchVerdict::kBudgetExhausted) {
+        report.searches_exhaustive = false;
+      }
+    }
+    return report;
+  }
+
+  DeterminacySearchResult search = SearchDeterminacyCounterexample(
+      views, Query::FromCq(q), base, opts.search);
+  if (search.verdict == SearchVerdict::kCounterexampleFound) {
+    report.verdict = DeterminacyVerdict::kRefuted;
+    report.counterexample = search.counterexample;
+    return report;
+  }
+  report.verdict = DeterminacyVerdict::kOpenWithinBound;
+  report.searches_exhaustive =
+      search.verdict == SearchVerdict::kNoneWithinBound;
+  return report;
+}
+
+InstanceDeterminacyResult DecideInstanceDeterminacy(
+    const ViewSet& views, const Query& q, const Schema& base,
+    const Instance& extent, int extra_values, std::uint64_t max_instances) {
+  QueryAnsweringOptions opts;
+  opts.extra_values = extra_values;
+  opts.max_instances = max_instances;
+  PreimageAgreement agreement =
+      AnswerViaAllPreimages(views, q, base, extent, opts);
+
+  InstanceDeterminacyResult result;
+  result.any_preimage = agreement.any_preimage;
+  result.determined_on_instance = agreement.all_agree;
+  result.exhaustive = agreement.exhaustive;
+  result.answer = agreement.answer;
+  result.disagreement = agreement.disagreement;
+  return result;
+}
+
+}  // namespace vqdr

@@ -1,0 +1,102 @@
+#include "core/twin_encoding.h"
+
+#include <vector>
+
+#include "base/check.h"
+#include "fo/evaluator.h"
+#include "fo/from_cq.h"
+
+namespace vqdr {
+
+namespace {
+
+// Query → FO with relations prefixed.
+FoQuery PrefixedFoQuery(const Query& q, const std::string& prefix) {
+  FoQuery fo;
+  switch (q.language()) {
+    case Query::Language::kCq:
+      fo = CqToFoQuery(q.AsCq());
+      break;
+    case Query::Language::kUcq:
+      fo = UcqToFoQuery(q.AsUcq());
+      break;
+    case Query::Language::kFo:
+      fo = q.AsFo();
+      break;
+    default:
+      VQDR_CHECK(false) << "twin encoding supports CQ/UCQ/FO queries only";
+  }
+  fo.formula = fo.formula->RenameRelations(
+      [&prefix](const std::string& r) { return prefix + r; });
+  return fo;
+}
+
+// ∀x̄ (defn1(x̄) ↔ defn2(x̄)) for one view.
+FoPtr ViewAgreement(const View& view, const std::string& p1,
+                    const std::string& p2) {
+  FoQuery q1 = PrefixedFoQuery(view.query, p1);
+  FoQuery q2 = PrefixedFoQuery(view.query, p2);
+  VQDR_CHECK(q1.free_vars == q2.free_vars);
+  return FoFormula::Forall(q1.free_vars,
+                           FoFormula::Iff(q1.formula, q2.formula));
+}
+
+}  // namespace
+
+TwinEncoding BuildTwinEncoding(const ViewSet& views, const Query& q,
+                               const Schema& base) {
+  TwinEncoding encoding;
+  encoding.twin_schema = base.WithPrefix(encoding.prefix1)
+                             .UnionWith(base.WithPrefix(encoding.prefix2));
+
+  std::vector<FoPtr> conjuncts;
+  for (const View& v : views.views()) {
+    conjuncts.push_back(ViewAgreement(v, encoding.prefix1, encoding.prefix2));
+  }
+
+  FoQuery q1 = PrefixedFoQuery(q, encoding.prefix1);
+  FoQuery q2 = PrefixedFoQuery(q, encoding.prefix2);
+  FoPtr disagreement = FoFormula::Exists(
+      q1.free_vars,
+      FoFormula::And({q1.formula, FoFormula::Not(q2.formula)}));
+  conjuncts.push_back(disagreement);
+
+  encoding.sentence = FoFormula::And(std::move(conjuncts));
+  return encoding;
+}
+
+std::pair<Instance, Instance> SplitTwinInstance(const TwinEncoding& encoding,
+                                                const Schema& base,
+                                                const Instance& twin) {
+  Instance d1(base);
+  Instance d2(base);
+  for (const RelationDecl& d : base.decls()) {
+    d1.Set(d.name, twin.Get(encoding.prefix1 + d.name));
+    d2.Set(d.name, twin.Get(encoding.prefix2 + d.name));
+  }
+  return {std::move(d1), std::move(d2)};
+}
+
+TwinSatResult BoundedTwinSearch(const TwinEncoding& encoding,
+                                const Schema& base,
+                                const EnumerationOptions& options) {
+  TwinSatResult result;
+  EnumerationOutcome outcome = ForEachInstance(
+      encoding.twin_schema, options, [&](const Instance& twin) {
+        if (FoSentenceHolds(encoding.sentence, twin)) {
+          auto [d1, d2] = SplitTwinInstance(encoding, base, twin);
+          result.verdict = SearchVerdict::kCounterexampleFound;
+          result.counterexample = DeterminacyCounterexample{d1, d2};
+          return false;
+        }
+        return true;
+      });
+  result.instances_examined = outcome.visited;
+  if (result.verdict != SearchVerdict::kCounterexampleFound &&
+      !outcome.complete) {
+    result.verdict = SearchVerdict::kBudgetExhausted;
+  }
+  return result;
+}
+
+}  // namespace vqdr

@@ -1,0 +1,50 @@
+#ifndef VQDR_CORE_TWIN_ENCODING_H_
+#define VQDR_CORE_TWIN_ENCODING_H_
+
+#include <optional>
+#include <utility>
+
+#include "core/finite_search.h"
+#include "fo/formula.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// The twin-schema reduction of Section 4 of the paper: over two disjoint
+/// copies σ₁, σ₂ of the base schema, the FO sentence
+///
+///   φ  =  ⋀_{V∈V} ∀x̄ (V₁(x̄) ↔ V₂(x̄))  ∧  ∃ȳ (Q₁(ȳ) ∧ ¬Q₂(ȳ))
+///
+/// is finitely satisfiable iff V does **not** determine Q (for
+/// domain-independent queries such as CQs/UCQs; active-domain evaluation of
+/// the joint instance then matches separate evaluation of the halves).
+struct TwinEncoding {
+  Schema twin_schema;       // σ₁ ∪ σ₂
+  FoPtr sentence;           // φ above
+  std::string prefix1 = "one_";
+  std::string prefix2 = "two_";
+};
+
+/// Builds the encoding for CQ/UCQ views and query over `base`.
+TwinEncoding BuildTwinEncoding(const ViewSet& views, const Query& q,
+                               const Schema& base);
+
+/// Splits a satisfying twin instance back into the pair (D₁, D₂).
+std::pair<Instance, Instance> SplitTwinInstance(const TwinEncoding& encoding,
+                                                const Schema& base,
+                                                const Instance& twin);
+
+/// Bounded finite-satisfiability search for the twin sentence: enumerates
+/// instances over σ₁ ∪ σ₂ within `options`. A model refutes determinacy.
+struct TwinSatResult {
+  SearchVerdict verdict = SearchVerdict::kNoneWithinBound;
+  std::optional<DeterminacyCounterexample> counterexample;
+  std::uint64_t instances_examined = 0;
+};
+TwinSatResult BoundedTwinSearch(const TwinEncoding& encoding,
+                                const Schema& base,
+                                const EnumerationOptions& options);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CORE_TWIN_ENCODING_H_

@@ -1,0 +1,47 @@
+#ifndef VQDR_CQ_ATOM_H_
+#define VQDR_CQ_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/term.h"
+
+namespace vqdr {
+
+/// A relational atom R(t1, …, tk).
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  Atom() = default;
+  Atom(std::string predicate, std::vector<Term> args)
+      : predicate(std::move(predicate)), args(std::move(args)) {}
+
+  int arity() const { return static_cast<int>(args.size()); }
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate == b.predicate && a.args == b.args;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.predicate != b.predicate) return a.predicate < b.predicate;
+    return a.args < b.args;
+  }
+
+  /// "R(x, 'c')".
+  std::string ToString() const;
+};
+
+/// An equality or disequality between two terms (for CQ= / CQ≠).
+struct TermComparison {
+  Term lhs;
+  Term rhs;
+
+  friend bool operator==(const TermComparison& a, const TermComparison& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+};
+
+}  // namespace vqdr
+
+#endif  // VQDR_CQ_ATOM_H_

@@ -1,0 +1,233 @@
+#include "cq/containment.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "base/check.h"
+#include "cq/canonical.h"
+#include "cq/matcher.h"
+
+namespace vqdr {
+
+namespace {
+
+// Applies a term substitution (variables → terms) to a query.
+ConjunctiveQuery SubstituteTerms(const ConjunctiveQuery& q,
+                                 const std::map<std::string, Term>& subst) {
+  auto map_term = [&subst](const Term& t) -> Term {
+    if (t.is_const()) return t;
+    auto it = subst.find(t.var());
+    return it != subst.end() ? it->second : t;
+  };
+  ConjunctiveQuery result(q.head_name(), {});
+  for (const Term& t : q.head_terms()) {
+    result.mutable_head_terms().push_back(map_term(t));
+  }
+  for (const Atom& a : q.atoms()) {
+    Atom mapped;
+    mapped.predicate = a.predicate;
+    for (const Term& t : a.args) mapped.args.push_back(map_term(t));
+    result.AddAtom(std::move(mapped));
+  }
+  for (const Atom& a : q.negated_atoms()) {
+    Atom mapped;
+    mapped.predicate = a.predicate;
+    for (const Term& t : a.args) mapped.args.push_back(map_term(t));
+    result.AddNegatedAtom(std::move(mapped));
+  }
+  for (const TermComparison& c : q.equalities()) {
+    result.AddEquality(map_term(c.lhs), map_term(c.rhs));
+  }
+  for (const TermComparison& c : q.disequalities()) {
+    result.AddDisequality(map_term(c.lhs), map_term(c.rhs));
+  }
+  return result;
+}
+
+// A collapsed canonical database of q1 under one identification pattern.
+struct PatternInstance {
+  Instance instance{Schema{}};
+  Tuple frozen_head;
+};
+
+// Enumerates canonical databases of `q1` sufficient for testing q1 ⊆ q2.
+//
+// For pure q1/q2, the single all-distinct freezing is complete
+// (Chandra–Merlin). With disequalities on either side, completeness needs
+// every *identification pattern* of q1's variables: every partition of the
+// variables, with each block optionally identified with one of the constants
+// in play (van der Meyden's classical test for CQ≠ containment). Patterns
+// that contradict q1's disequalities are skipped.
+//
+// Calls `body` per canonical database; a false return stops early.
+// Returns true if every invocation returned true.
+bool ForEachCanonicalDb(
+    const ConjunctiveQuery& q1, const std::set<Value>& all_constants,
+    bool need_patterns,
+    const std::function<bool(const PatternInstance&)>& body) {
+  ValueFactory base_factory;
+  for (Value c : all_constants) base_factory.NoteUsed(c);
+
+  auto run_pattern = [&](const ConjunctiveQuery& collapsed) -> bool {
+    // Skip patterns inconsistent with q1's disequalities.
+    for (const TermComparison& c : collapsed.disequalities()) {
+      if (c.lhs == c.rhs) return true;
+    }
+    ConjunctiveQuery positive(collapsed.head_name(), collapsed.head_terms());
+    for (const Atom& a : collapsed.atoms()) positive.AddAtom(a);
+    ValueFactory factory = base_factory;
+    FrozenQuery frozen = Freeze(positive, factory);
+    PatternInstance pattern;
+    pattern.instance = std::move(frozen.instance);
+    pattern.frozen_head = std::move(frozen.frozen_head);
+    return body(pattern);
+  };
+
+  if (!need_patterns) return run_pattern(q1);
+
+  std::vector<std::string> vars = q1.AllVariables();
+  std::vector<Value> constants(all_constants.begin(), all_constants.end());
+
+  // Generate set partitions of vars via restricted growth strings, then for
+  // each partition choose, per block, "fresh" or one of the constants (at
+  // most one block per constant — two blocks on the same constant is a
+  // coarser partition handled elsewhere).
+  std::vector<int> blocks(vars.size(), 0);
+  std::function<bool(std::size_t, int)> enumerate_partitions;
+  auto run_with_assignment = [&](int block_count) -> bool {
+    // choice[b] = -1 for fresh, else index into `constants`.
+    std::vector<int> choice(block_count, -1);
+    std::function<bool(int)> assign = [&](int b) -> bool {
+      if (b == block_count) {
+        // Build substitution: representative term per block.
+        std::vector<Term> rep(block_count);
+        std::vector<std::string> block_var(block_count);
+        for (std::size_t j = 0; j < vars.size(); ++j) {
+          if (block_var[blocks[j]].empty()) block_var[blocks[j]] = vars[j];
+        }
+        for (int k = 0; k < block_count; ++k) {
+          rep[k] = choice[k] >= 0 ? Term::Const(constants[choice[k]])
+                                  : Term::Var(block_var[k]);
+        }
+        std::map<std::string, Term> subst;
+        for (std::size_t j = 0; j < vars.size(); ++j) {
+          subst[vars[j]] = rep[blocks[j]];
+        }
+        return run_pattern(SubstituteTerms(q1, subst));
+      }
+      if (!assign(b + 1)) return false;  // fresh
+      for (std::size_t ci = 0; ci < constants.size(); ++ci) {
+        bool taken = false;
+        for (int prev = 0; prev < b; ++prev) {
+          if (choice[prev] == static_cast<int>(ci)) taken = true;
+        }
+        if (taken) continue;
+        choice[b] = static_cast<int>(ci);
+        bool keep = assign(b + 1);
+        choice[b] = -1;
+        if (!keep) return false;
+      }
+      return true;
+    };
+    return assign(0);
+  };
+  enumerate_partitions = [&](std::size_t i, int max_block) -> bool {
+    if (i == vars.size()) return run_with_assignment(max_block);
+    for (int b = 0; b <= max_block; ++b) {
+      blocks[i] = b;
+      int next_max = b == max_block ? max_block + 1 : max_block;
+      if (!enumerate_partitions(i + 1, next_max)) return false;
+    }
+    return true;
+  };
+  if (vars.empty()) return run_with_assignment(0);
+  return enumerate_partitions(0, 0);
+}
+
+std::set<Value> UnionConstants(const ConjunctiveQuery& a,
+                               const ConjunctiveQuery& b) {
+  std::set<Value> constants = a.Constants();
+  for (Value c : b.Constants()) constants.insert(c);
+  return constants;
+}
+
+}  // namespace
+
+bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  VQDR_CHECK(!q1.UsesNegation() && !q2.UsesNegation())
+      << "containment is not supported for CQ¬";
+  VQDR_CHECK_EQ(q1.head_arity(), q2.head_arity())
+      << "containment between different arities";
+
+  bool sat1 = true;
+  ConjunctiveQuery n1 = q1.PropagateEqualities(&sat1);
+  if (!sat1) return true;  // empty query contained in anything
+  bool sat2 = true;
+  ConjunctiveQuery n2 = q2.PropagateEqualities(&sat2);
+  if (!sat2) return !CqSatisfiable(n1);
+
+  bool need_patterns = n1.UsesDisequality() || n2.UsesDisequality();
+  return ForEachCanonicalDb(n1, UnionConstants(n1, n2), need_patterns,
+                            [&](const PatternInstance& pattern) {
+                              return CqAnswerContains(n2, pattern.instance,
+                                                      pattern.frozen_head);
+                            });
+}
+
+bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return CqContainedIn(q1, q2) && CqContainedIn(q2, q1);
+}
+
+bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2) {
+  VQDR_CHECK(!q1.empty() && !q2.empty()) << "containment with empty UCQ";
+  VQDR_CHECK_EQ(q1.head_arity(), q2.head_arity());
+
+  bool q2_uses_diseq = false;
+  std::set<Value> q2_constants;
+  for (const ConjunctiveQuery& d2 : q2.disjuncts()) {
+    VQDR_CHECK(!d2.UsesNegation()) << "containment not supported for ¬";
+    if (d2.UsesDisequality()) q2_uses_diseq = true;
+    for (Value c : d2.Constants()) q2_constants.insert(c);
+  }
+
+  for (const ConjunctiveQuery& disjunct : q1.disjuncts()) {
+    VQDR_CHECK(!disjunct.UsesNegation()) << "containment not supported for ¬";
+    bool sat = true;
+    ConjunctiveQuery normalized = disjunct.PropagateEqualities(&sat);
+    if (!sat) continue;
+    if (!CqSatisfiable(normalized)) continue;
+
+    std::set<Value> constants = q2_constants;
+    for (Value c : normalized.Constants()) constants.insert(c);
+    bool need_patterns = normalized.UsesDisequality() || q2_uses_diseq;
+
+    bool contained = ForEachCanonicalDb(
+        normalized, constants, need_patterns,
+        [&](const PatternInstance& pattern) {
+          Relation answer = EvaluateUcq(q2, pattern.instance);
+          return answer.Contains(pattern.frozen_head);
+        });
+    if (!contained) return false;
+  }
+  return true;
+}
+
+bool UcqEquivalent(const UnionQuery& q1, const UnionQuery& q2) {
+  return UcqContainedIn(q1, q2) && UcqContainedIn(q2, q1);
+}
+
+bool CqSatisfiable(const ConjunctiveQuery& q) {
+  VQDR_CHECK(!q.UsesNegation()) << "satisfiability not supported for CQ¬";
+  bool sat = true;
+  ConjunctiveQuery normalized = q.PropagateEqualities(&sat);
+  if (!sat) return false;
+  // The frozen body with all-distinct variables satisfies every remaining
+  // disequality between distinct terms; only x != x (already caught) fails.
+  for (const TermComparison& c : normalized.disequalities()) {
+    if (c.lhs == c.rhs) return false;
+  }
+  return true;
+}
+
+}  // namespace vqdr

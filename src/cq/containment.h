@@ -1,0 +1,35 @@
+#ifndef VQDR_CQ_CONTAINMENT_H_
+#define VQDR_CQ_CONTAINMENT_H_
+
+#include "cq/conjunctive_query.h"
+#include "cq/ucq.h"
+
+namespace vqdr {
+
+/// Q1 ⊆ Q2 for conjunctive queries (the Chandra–Merlin canonical-instance
+/// test [9]). Handles constants and disequalities exactly: with ≠ present,
+/// all variable-identification patterns of Q1 consistent with its
+/// disequalities are checked (the classical complete test; exponential in
+/// the number of variables of Q1). Negation is not supported (aborts).
+///
+/// For (U)CQ(≠), finite and unrestricted containment coincide, so a single
+/// routine serves both settings.
+bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// Q1 ≡ Q2 (containment both ways).
+bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// UCQ containment (Sagiv–Yannakakis): Q1 ⊆ Q2 iff every canonical instance
+/// of every disjunct of Q1 satisfies Q2.
+bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2);
+
+/// UCQ equivalence.
+bool UcqEquivalent(const UnionQuery& q1, const UnionQuery& q2);
+
+/// True if the (pure or ≠-extended) CQ is satisfiable, i.e. has a nonempty
+/// answer on some instance.
+bool CqSatisfiable(const ConjunctiveQuery& q);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CQ_CONTAINMENT_H_

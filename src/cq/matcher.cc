@@ -1,0 +1,206 @@
+#include "cq/matcher.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace vqdr {
+
+namespace {
+
+// Counts how many argument positions of `atom` are already determined by
+// `binding` (constants count as bound).
+int BoundPositions(const Atom& atom, const Binding& binding) {
+  int bound = 0;
+  for (const Term& t : atom.args) {
+    if (t.is_const() || binding.count(t.var()) > 0) ++bound;
+  }
+  return bound;
+}
+
+// Recursive backtracking join. `remaining` holds indices of atoms not yet
+// matched.
+bool MatchRec(const std::vector<Atom>& atoms, const Instance& db,
+              std::vector<int>& remaining, Binding& binding,
+              const std::function<bool(const Binding&)>& on_match) {
+  if (remaining.empty()) return on_match(binding);
+
+  // Pick the most-constrained atom: maximal bound positions, then smaller
+  // relation. This keeps the search close to a worst-case-optimal join on
+  // the small instances the library processes.
+  std::size_t best_i = 0;
+  int best_bound = -1;
+  std::size_t best_size = 0;
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    const Atom& atom = atoms[remaining[i]];
+    int bound = BoundPositions(atom, binding);
+    std::size_t size = db.Get(atom.predicate).size();
+    if (bound > best_bound || (bound == best_bound && size < best_size)) {
+      best_bound = bound;
+      best_size = size;
+      best_i = i;
+    }
+  }
+  int atom_index = remaining[best_i];
+  remaining.erase(remaining.begin() + best_i);
+  const Atom& atom = atoms[atom_index];
+  const Relation& rel = db.Get(atom.predicate);
+
+  bool keep_going = true;
+  for (const Tuple& tuple : rel.tuples()) {
+    // Try to extend the binding so that atom maps to this tuple.
+    std::vector<std::pair<std::string, Value>> added;
+    bool consistent = true;
+    for (std::size_t pos = 0; pos < atom.args.size(); ++pos) {
+      const Term& t = atom.args[pos];
+      Value v = tuple[pos];
+      if (t.is_const()) {
+        if (t.constant() != v) {
+          consistent = false;
+          break;
+        }
+        continue;
+      }
+      auto it = binding.find(t.var());
+      if (it != binding.end()) {
+        if (it->second != v) {
+          consistent = false;
+          break;
+        }
+      } else {
+        binding.emplace(t.var(), v);
+        added.emplace_back(t.var(), v);
+      }
+    }
+    if (consistent) {
+      keep_going = MatchRec(atoms, db, remaining, binding, on_match);
+    }
+    for (const auto& [var, value] : added) binding.erase(var);
+    if (!keep_going) break;
+  }
+
+  remaining.insert(remaining.begin() + best_i, atom_index);
+  return keep_going;
+}
+
+// Resolves a term under a binding; all variables must be bound.
+Value ResolveTerm(const Term& t, const Binding& binding) {
+  if (t.is_const()) return t.constant();
+  auto it = binding.find(t.var());
+  VQDR_CHECK(it != binding.end()) << "unbound variable " << t.var();
+  return it->second;
+}
+
+// Checks negated atoms and disequalities under a full binding.
+bool FiltersPass(const ConjunctiveQuery& q, const Instance& db,
+                 const Binding& binding) {
+  for (const TermComparison& c : q.disequalities()) {
+    if (ResolveTerm(c.lhs, binding) == ResolveTerm(c.rhs, binding)) {
+      return false;
+    }
+  }
+  for (const Atom& atom : q.negated_atoms()) {
+    // A predicate absent from the database schema denotes an empty relation,
+    // so the negated atom trivially passes.
+    if (!db.schema().Contains(atom.predicate)) continue;
+    Tuple ground;
+    ground.reserve(atom.args.size());
+    for (const Term& t : atom.args) ground.push_back(ResolveTerm(t, binding));
+    if (db.HasFact(atom.predicate, ground)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ForEachMatch(const std::vector<Atom>& atoms, const Instance& db,
+                  const Binding& initial,
+                  const std::function<bool(const Binding&)>& on_match) {
+  for (const Atom& atom : atoms) {
+    // A predicate missing from the database schema denotes an empty
+    // relation: the conjunction has no matches.
+    if (!db.schema().Contains(atom.predicate)) return true;
+    VQDR_CHECK_EQ(*db.schema().ArityOf(atom.predicate), atom.arity())
+        << "atom/relation arity mismatch for " << atom.predicate;
+  }
+  std::vector<int> remaining(atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    remaining[i] = static_cast<int>(i);
+  }
+  Binding binding = initial;
+  return MatchRec(atoms, db, remaining, binding, on_match);
+}
+
+Relation EvaluateCq(const ConjunctiveQuery& q, const Instance& db) {
+  VQDR_CHECK(q.IsSafe()) << "evaluating unsafe query: " << q.ToString();
+  bool satisfiable = true;
+  ConjunctiveQuery normalized = q.PropagateEqualities(&satisfiable);
+  Relation result(q.head_arity());
+  if (!satisfiable) return result;
+
+  ForEachMatch(normalized.atoms(), db, Binding{},
+               [&](const Binding& binding) {
+                 if (FiltersPass(normalized, db, binding)) {
+                   Tuple answer;
+                   answer.reserve(normalized.head_terms().size());
+                   for (const Term& t : normalized.head_terms()) {
+                     answer.push_back(ResolveTerm(t, binding));
+                   }
+                   result.Insert(answer);
+                 }
+                 return true;
+               });
+  return result;
+}
+
+Relation EvaluateUcq(const UnionQuery& q, const Instance& db) {
+  VQDR_CHECK(!q.empty()) << "evaluating empty UCQ";
+  Relation result(q.head_arity());
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    result = result.Union(EvaluateCq(disjunct, db));
+  }
+  return result;
+}
+
+bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
+                      const Tuple& tuple) {
+  VQDR_CHECK_EQ(static_cast<int>(tuple.size()), q.head_arity());
+  VQDR_CHECK(q.IsSafe()) << "evaluating unsafe query: " << q.ToString();
+  bool satisfiable = true;
+  ConjunctiveQuery normalized = q.PropagateEqualities(&satisfiable);
+  if (!satisfiable) return false;
+
+  // Bind head variables to the target tuple up front; reject if the head's
+  // constants disagree with the tuple.
+  Binding initial;
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    const Term& t = normalized.head_terms()[i];
+    if (t.is_const()) {
+      if (t.constant() != tuple[i]) return false;
+      continue;
+    }
+    auto it = initial.find(t.var());
+    if (it != initial.end()) {
+      if (it->second != tuple[i]) return false;
+    } else {
+      initial.emplace(t.var(), tuple[i]);
+    }
+  }
+
+  bool found = false;
+  ForEachMatch(normalized.atoms(), db, initial, [&](const Binding& binding) {
+    if (FiltersPass(normalized, db, binding)) {
+      found = true;
+      return false;  // stop
+    }
+    return true;
+  });
+  return found;
+}
+
+bool CqHolds(const ConjunctiveQuery& q, const Instance& db) {
+  VQDR_CHECK_EQ(q.head_arity(), 0) << "CqHolds on non-Boolean query";
+  return CqAnswerContains(q, db, Tuple{});
+}
+
+}  // namespace vqdr

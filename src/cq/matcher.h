@@ -1,0 +1,46 @@
+#ifndef VQDR_CQ_MATCHER_H_
+#define VQDR_CQ_MATCHER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cq/conjunctive_query.h"
+#include "cq/ucq.h"
+#include "data/instance.h"
+
+namespace vqdr {
+
+/// A variable assignment (a homomorphism from query variables to dom).
+using Binding = std::map<std::string, Value>;
+
+/// Enumerates every assignment of the variables of `atoms` extending
+/// `initial` under which each atom's image is a fact of `db` (i.e. every
+/// homomorphism from the atom set into `db`). Invokes `on_match` per match;
+/// a false return stops the enumeration. Returns true if the enumeration ran
+/// to completion, false if stopped early.
+///
+/// This single routine powers CQ evaluation, homomorphism search between
+/// instances, containment tests, and the chase.
+bool ForEachMatch(const std::vector<Atom>& atoms, const Instance& db,
+                  const Binding& initial,
+                  const std::function<bool(const Binding&)>& on_match);
+
+/// Q(D) for a safe conjunctive query (handles =, ≠ and safe negation).
+/// Aborts on unsafe queries; unsatisfiable queries evaluate to empty.
+Relation EvaluateCq(const ConjunctiveQuery& q, const Instance& db);
+
+/// Q(D) for a safe UCQ: union of the disjuncts' answers.
+Relation EvaluateUcq(const UnionQuery& q, const Instance& db);
+
+/// True iff `tuple` ∈ Q(D). For Boolean queries pass the empty tuple.
+bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
+                      const Tuple& tuple);
+
+/// True iff the Boolean query is satisfied (head arity must be 0).
+bool CqHolds(const ConjunctiveQuery& q, const Instance& db);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CQ_MATCHER_H_

@@ -1,0 +1,59 @@
+#include "cq/minimize.h"
+
+#include "base/check.h"
+#include "cq/containment.h"
+
+namespace vqdr {
+
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& q) {
+  VQDR_CHECK(q.IsPureCq()) << "MinimizeCq requires a pure CQ";
+  ConjunctiveQuery current = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < current.atoms().size(); ++i) {
+      ConjunctiveQuery candidate(current.head_name(), current.head_terms());
+      for (std::size_t j = 0; j < current.atoms().size(); ++j) {
+        if (j != i) candidate.AddAtom(current.atoms()[j]);
+      }
+      if (!candidate.IsSafe()) continue;
+      // Removing an atom weakens the query (current ⊆ candidate always);
+      // equivalence needs candidate ⊆ current.
+      if (CqContainedIn(candidate, current)) {
+        current = candidate;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+UnionQuery MinimizeUcq(const UnionQuery& q) {
+  VQDR_CHECK(q.IsPureUcq()) << "MinimizeUcq requires a pure UCQ";
+  // Drop disjuncts subsumed by another disjunct, keeping earlier ones.
+  std::vector<ConjunctiveQuery> kept;
+  for (std::size_t i = 0; i < q.disjuncts().size(); ++i) {
+    const ConjunctiveQuery& candidate = q.disjuncts()[i];
+    bool subsumed = false;
+    for (std::size_t j = 0; j < q.disjuncts().size(); ++j) {
+      if (i == j) continue;
+      // Candidate is subsumed by a disjunct that is not itself dropped in
+      // favour of candidate: break ties by index.
+      if (CqContainedIn(candidate, q.disjuncts()[j])) {
+        bool reverse = CqContainedIn(q.disjuncts()[j], candidate);
+        if (!reverse || j < i) {
+          subsumed = true;
+          break;
+        }
+      }
+    }
+    if (!subsumed) kept.push_back(MinimizeCq(candidate));
+  }
+  UnionQuery result;
+  for (ConjunctiveQuery& d : kept) result.AddDisjunct(std::move(d));
+  VQDR_CHECK(!result.empty());
+  return result;
+}
+
+}  // namespace vqdr

@@ -1,0 +1,20 @@
+#ifndef VQDR_CQ_MINIMIZE_H_
+#define VQDR_CQ_MINIMIZE_H_
+
+#include "cq/conjunctive_query.h"
+#include "cq/ucq.h"
+
+namespace vqdr {
+
+/// Minimizes a pure CQ to its core (Chandra–Merlin): greedily removes body
+/// atoms while the query stays equivalent. The result is unique up to
+/// isomorphism and has no redundant atoms.
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& q);
+
+/// Minimizes a pure UCQ: drops disjuncts contained in the union of the
+/// others, then minimizes each surviving disjunct.
+UnionQuery MinimizeUcq(const UnionQuery& q);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CQ_MINIMIZE_H_

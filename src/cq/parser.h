@@ -1,0 +1,43 @@
+#ifndef VQDR_CQ_PARSER_H_
+#define VQDR_CQ_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "cq/conjunctive_query.h"
+#include "cq/ucq.h"
+#include "data/instance.h"
+
+namespace vqdr {
+
+/// Parses a conjunctive query in rule syntax:
+///
+///   Q(x, y) :- R(x, z), S(z, y), x != y, not T(x), z = 'alice'
+///
+/// Variables are bare identifiers; constants are quoted ('alice') and are
+/// interned through `pool` so the same name always denotes the same domain
+/// value. A body of just `true` denotes the empty body (for Boolean heads).
+StatusOr<ConjunctiveQuery> ParseCq(std::string_view text, NamePool& pool);
+
+/// Parses a UCQ: disjuncts separated by `|`, each a full rule with the same
+/// head, e.g. "Q(x) :- A(x) | Q(x) :- B(x)".
+StatusOr<UnionQuery> ParseUcq(std::string_view text, NamePool& pool);
+
+/// Parses a database instance as a fact list over `schema`:
+///
+///   R(a, b), R(b, c), P(a), Flag()
+///
+/// Every argument is a constant name interned through `pool` (no quotes
+/// needed in fact lists). Facts may be separated by `,` or `;`. An empty
+/// string yields the empty instance.
+StatusOr<Instance> ParseInstance(std::string_view text, const Schema& schema,
+                                 NamePool& pool);
+
+/// Pretty-prints with constant names resolved through `pool`.
+std::string CqToString(const ConjunctiveQuery& q, const NamePool& pool);
+std::string UcqToString(const UnionQuery& q, const NamePool& pool);
+std::string InstanceToString(const Instance& instance, const NamePool& pool);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CQ_PARSER_H_

@@ -1,0 +1,70 @@
+#ifndef VQDR_CQ_TERM_H_
+#define VQDR_CQ_TERM_H_
+
+#include <string>
+
+#include "base/check.h"
+#include "data/value.h"
+
+namespace vqdr {
+
+/// A term of a conjunctive query: either a variable (identified by name) or
+/// a constant from **dom**. Constants in queries denote themselves (query
+/// constants, not logical constants — see Section 2 of the paper).
+class Term {
+ public:
+  /// Default-constructs a variable named "_"; prefer the factories.
+  Term() : is_var_(true), var_("_") {}
+
+  static Term Var(std::string name) {
+    Term t;
+    t.is_var_ = true;
+    t.var_ = std::move(name);
+    return t;
+  }
+
+  static Term Const(Value v) {
+    Term t;
+    t.is_var_ = false;
+    t.constant_ = v;
+    return t;
+  }
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+
+  const std::string& var() const {
+    VQDR_CHECK(is_var_) << "var() on constant term";
+    return var_;
+  }
+
+  Value constant() const {
+    VQDR_CHECK(!is_var_) << "constant() on variable term";
+    return constant_;
+  }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return false;
+    return a.is_var_ ? a.var_ == b.var_ : a.constant_ == b.constant_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return a.is_var_;  // constants sort first
+    return a.is_var_ ? a.var_ < b.var_ : a.constant_ < b.constant_;
+  }
+
+  /// "x" for variables, "'#7'" for constants.
+  std::string ToString() const {
+    if (is_var_) return var_;
+    return "'#" + std::to_string(constant_.id) + "'";
+  }
+
+ private:
+  bool is_var_;
+  std::string var_;
+  Value constant_;
+};
+
+}  // namespace vqdr
+
+#endif  // VQDR_CQ_TERM_H_

@@ -1,0 +1,60 @@
+#include "cq/ucq.h"
+
+#include <sstream>
+
+#include "base/check.h"
+
+namespace vqdr {
+
+void UnionQuery::AddDisjunct(ConjunctiveQuery disjunct) {
+  if (!disjuncts_.empty()) {
+    VQDR_CHECK_EQ(disjuncts_.front().head_arity(), disjunct.head_arity())
+        << "UCQ disjunct arity mismatch";
+    VQDR_CHECK_EQ(disjuncts_.front().head_name(), disjunct.head_name())
+        << "UCQ disjunct head-name mismatch";
+  }
+  disjuncts_.push_back(std::move(disjunct));
+}
+
+const std::string& UnionQuery::head_name() const {
+  VQDR_CHECK(!disjuncts_.empty()) << "head_name of empty UCQ";
+  return disjuncts_.front().head_name();
+}
+
+int UnionQuery::head_arity() const {
+  VQDR_CHECK(!disjuncts_.empty()) << "head_arity of empty UCQ";
+  return disjuncts_.front().head_arity();
+}
+
+bool UnionQuery::IsPureUcq() const {
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    if (!q.IsPureCq()) return false;
+  }
+  return true;
+}
+
+Schema UnionQuery::BodySchema() const {
+  Schema schema;
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    schema = schema.UnionWith(q.BodySchema());
+  }
+  return schema;
+}
+
+bool UnionQuery::IsSafe() const {
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    if (!q.IsSafe()) return false;
+  }
+  return true;
+}
+
+std::string UnionQuery::ToString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) out << " | ";
+    out << disjuncts_[i].ToString();
+  }
+  return out.str();
+}
+
+}  // namespace vqdr

@@ -1,0 +1,53 @@
+#ifndef VQDR_CQ_UCQ_H_
+#define VQDR_CQ_UCQ_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/conjunctive_query.h"
+
+namespace vqdr {
+
+/// A union of conjunctive queries (UCQ, and UCQ=/UCQ≠/UCQ¬ when the
+/// disjuncts use the corresponding extensions). All disjuncts share the head
+/// name and arity.
+class UnionQuery {
+ public:
+  UnionQuery() = default;
+
+  /// A UCQ with a single disjunct.
+  explicit UnionQuery(ConjunctiveQuery disjunct) {
+    AddDisjunct(std::move(disjunct));
+  }
+
+  /// Adds a disjunct; head name and arity must match previous disjuncts.
+  void AddDisjunct(ConjunctiveQuery disjunct);
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
+  bool empty() const { return disjuncts_.empty(); }
+
+  /// Head name (of the first disjunct; all agree). Requires non-empty.
+  const std::string& head_name() const;
+
+  /// Head arity; requires non-empty.
+  int head_arity() const;
+
+  /// True if every disjunct is a plain CQ.
+  bool IsPureUcq() const;
+
+  /// Union of the disjuncts' body schemas.
+  Schema BodySchema() const;
+
+  /// Safety of every disjunct.
+  bool IsSafe() const;
+
+  /// "Q(x) :- A(x) | Q(x) :- B(x)".
+  std::string ToString() const;
+
+ private:
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+}  // namespace vqdr
+
+#endif  // VQDR_CQ_UCQ_H_

@@ -1,0 +1,87 @@
+#include "data/isomorphism.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace vqdr {
+
+namespace {
+
+// Applies a candidate bijection and compares images.
+bool MappingWorks(const Instance& a, const Instance& b,
+                  const ValueBijection& map) {
+  Instance image = a.Apply([&map](Value v) {
+    auto it = map.find(v);
+    VQDR_CHECK(it != map.end());
+    return it->second;
+  });
+  return image == b;
+}
+
+}  // namespace
+
+std::optional<ValueBijection> FindIsomorphism(const Instance& a,
+                                              const Instance& b) {
+  std::set<Value> adom_a_set = a.ActiveDomain();
+  std::set<Value> adom_b_set = b.ActiveDomain();
+  if (adom_a_set.size() != adom_b_set.size()) return std::nullopt;
+  if (a.TupleCount() != b.TupleCount()) return std::nullopt;
+
+  std::vector<Value> adom_a(adom_a_set.begin(), adom_a_set.end());
+  std::vector<Value> adom_b(adom_b_set.begin(), adom_b_set.end());
+  std::sort(adom_b.begin(), adom_b.end());
+  // Try every bijection adom_a -> adom_b. Fine for the small instances this
+  // library enumerates (n! with n <= ~8).
+  do {
+    ValueBijection map;
+    for (std::size_t i = 0; i < adom_a.size(); ++i) map[adom_a[i]] = adom_b[i];
+    if (MappingWorks(a, b, map)) return map;
+  } while (std::next_permutation(adom_b.begin(), adom_b.end()));
+  return std::nullopt;
+}
+
+bool AreIsomorphic(const Instance& a, const Instance& b) {
+  return FindIsomorphism(a, b).has_value();
+}
+
+std::vector<ValueBijection> Automorphisms(const Instance& d) {
+  std::vector<ValueBijection> result;
+  std::set<Value> adom_set = d.ActiveDomain();
+  std::vector<Value> source(adom_set.begin(), adom_set.end());
+  std::vector<Value> target = source;
+  do {
+    ValueBijection map;
+    for (std::size_t i = 0; i < source.size(); ++i) map[source[i]] = target[i];
+    if (MappingWorks(d, d, map)) result.push_back(map);
+  } while (std::next_permutation(target.begin(), target.end()));
+  return result;
+}
+
+std::string CanonicalKey(const Instance& d) {
+  std::set<Value> adom_set = d.ActiveDomain();
+  std::vector<Value> adom(adom_set.begin(), adom_set.end());
+  std::vector<Value> fresh;
+  fresh.reserve(adom.size());
+  for (std::size_t i = 0; i < adom.size(); ++i) {
+    fresh.push_back(Value(static_cast<std::int64_t>(i) + 1));
+  }
+  std::string best;
+  bool first = true;
+  // adom is sorted; permute the assignment of canonical labels.
+  std::vector<std::size_t> perm(adom.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  do {
+    ValueBijection map;
+    for (std::size_t i = 0; i < adom.size(); ++i) map[adom[i]] = fresh[perm[i]];
+    Instance relabeled = d.Apply([&map](Value v) { return map.at(v); });
+    std::string key = relabeled.ToKey();
+    if (first || key < best) {
+      best = std::move(key);
+      first = false;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace vqdr

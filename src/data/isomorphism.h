@@ -1,0 +1,37 @@
+#ifndef VQDR_DATA_ISOMORPHISM_H_
+#define VQDR_DATA_ISOMORPHISM_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "data/instance.h"
+
+namespace vqdr {
+
+/// A bijective value mapping (restricted to the relevant active domains).
+using ValueBijection = std::map<Value, Value>;
+
+/// Finds an isomorphism from `a` to `b` (a bijection of active domains that
+/// maps a's facts exactly onto b's facts), or nullopt if none exists.
+/// Exhaustive over permutations — intended for the small instances used in
+/// the paper's counterexamples and in property tests.
+std::optional<ValueBijection> FindIsomorphism(const Instance& a,
+                                              const Instance& b);
+
+/// True if `a` and `b` are isomorphic.
+bool AreIsomorphic(const Instance& a, const Instance& b);
+
+/// All automorphisms of `d` (permutations of adom(d) mapping d onto itself).
+/// Includes the identity. Exhaustive; small instances only.
+std::vector<ValueBijection> Automorphisms(const Instance& d);
+
+/// A canonical representative key of d's isomorphism class: the
+/// lexicographically least serialization over all relabelings of adom(d)
+/// by 1..n. Two instances have equal canonical keys iff they are isomorphic
+/// (over the same schema).
+std::string CanonicalKey(const Instance& d);
+
+}  // namespace vqdr
+
+#endif  // VQDR_DATA_ISOMORPHISM_H_

@@ -1,0 +1,55 @@
+#include "data/schema.h"
+
+#include <sstream>
+
+#include "base/check.h"
+
+namespace vqdr {
+
+Schema::Schema(std::initializer_list<RelationDecl> decls) {
+  for (const RelationDecl& d : decls) Add(d.name, d.arity);
+}
+
+void Schema::Add(const std::string& name, int arity) {
+  VQDR_CHECK_GE(arity, 0);
+  for (const RelationDecl& d : decls_) {
+    if (d.name == name) {
+      VQDR_CHECK_EQ(d.arity, arity)
+          << "relation " << name << " redeclared with different arity";
+      return;
+    }
+  }
+  decls_.push_back(RelationDecl{name, arity});
+}
+
+std::optional<int> Schema::ArityOf(const std::string& name) const {
+  for (const RelationDecl& d : decls_) {
+    if (d.name == name) return d.arity;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::UnionWith(const Schema& other) const {
+  Schema result = *this;
+  for (const RelationDecl& d : other.decls_) result.Add(d.name, d.arity);
+  return result;
+}
+
+Schema Schema::WithPrefix(const std::string& prefix) const {
+  Schema result;
+  for (const RelationDecl& d : decls_) result.Add(prefix + d.name, d.arity);
+  return result;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < decls_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << decls_[i].name << "/" << decls_[i].arity;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace vqdr

@@ -1,0 +1,63 @@
+#ifndef VQDR_DATA_SCHEMA_H_
+#define VQDR_DATA_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vqdr {
+
+/// Declaration of a single relation symbol.
+struct RelationDecl {
+  std::string name;
+  int arity = 0;
+
+  friend bool operator==(const RelationDecl& a, const RelationDecl& b) {
+    return a.name == b.name && a.arity == b.arity;
+  }
+};
+
+/// A database schema σ: a finite set of relation symbols with arities,
+/// kept in insertion order for deterministic printing.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// A schema with the given declarations; names must be distinct.
+  Schema(std::initializer_list<RelationDecl> decls);
+
+  /// Adds a relation symbol. Re-adding an identical declaration is a no-op;
+  /// re-adding with a different arity aborts.
+  void Add(const std::string& name, int arity);
+
+  /// The arity of `name`, or nullopt if absent.
+  std::optional<int> ArityOf(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return ArityOf(name).has_value();
+  }
+
+  const std::vector<RelationDecl>& decls() const { return decls_; }
+  std::size_t size() const { return decls_.size(); }
+
+  /// Union of two schemas; conflicting arities abort.
+  Schema UnionWith(const Schema& other) const;
+
+  /// A copy with every relation name prefixed (used for the twin-schema
+  /// σ₁/σ₂ constructions of Section 4).
+  Schema WithPrefix(const std::string& prefix) const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.decls_ == b.decls_;
+  }
+
+  /// Renders as "{R/2, P/0}".
+  std::string ToString() const;
+
+ private:
+  std::vector<RelationDecl> decls_;
+};
+
+}  // namespace vqdr
+
+#endif  // VQDR_DATA_SCHEMA_H_

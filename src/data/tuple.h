@@ -1,0 +1,24 @@
+#ifndef VQDR_DATA_TUPLE_H_
+#define VQDR_DATA_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace vqdr {
+
+/// A database tuple: a fixed-length sequence of domain values. Vector order
+/// and comparisons make tuples usable as ordered set elements.
+using Tuple = std::vector<Value>;
+
+/// Convenience constructor from raw ids: MakeTuple({1, 2, 3}).
+Tuple MakeTuple(std::initializer_list<std::int64_t> ids);
+
+/// Renders as "(#1, #2)".
+std::string TupleToString(const Tuple& t);
+
+}  // namespace vqdr
+
+#endif  // VQDR_DATA_TUPLE_H_

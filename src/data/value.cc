@@ -1,0 +1,26 @@
+#include "data/value.h"
+
+#include <ostream>
+
+namespace vqdr {
+
+std::ostream& operator<<(std::ostream& os, Value v) {
+  return os << "#" << v.id;
+}
+
+Value NamePool::Intern(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  Value v(next_++);
+  by_name_.emplace(name, v);
+  by_id_.emplace(v.id, name);
+  return v;
+}
+
+std::string NamePool::NameOf(Value v) const {
+  auto it = by_id_.find(v.id);
+  if (it != by_id_.end()) return it->second;
+  return "#" + std::to_string(v.id);
+}
+
+}  // namespace vqdr

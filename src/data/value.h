@@ -1,0 +1,83 @@
+#ifndef VQDR_DATA_VALUE_H_
+#define VQDR_DATA_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace vqdr {
+
+/// A domain element. The paper's domain **dom** is a fixed infinite set; we
+/// model its elements as 64-bit integers. Values carry no other structure —
+/// queries are generic (commute with permutations of **dom**), and the tests
+/// exercise that property directly.
+struct Value {
+  std::int64_t id = 0;
+
+  constexpr Value() = default;
+  constexpr explicit Value(std::int64_t id) : id(id) {}
+
+  friend constexpr bool operator==(Value a, Value b) { return a.id == b.id; }
+  friend constexpr bool operator!=(Value a, Value b) { return a.id != b.id; }
+  friend constexpr bool operator<(Value a, Value b) { return a.id < b.id; }
+  friend constexpr bool operator<=(Value a, Value b) { return a.id <= b.id; }
+  friend constexpr bool operator>(Value a, Value b) { return a.id > b.id; }
+  friend constexpr bool operator>=(Value a, Value b) { return a.id >= b.id; }
+};
+
+std::ostream& operator<<(std::ostream& os, Value v);
+
+/// Produces values guaranteed fresh relative to everything seen so far. The
+/// chase (Section 3 of the paper) uses this to mint the "new distinct values"
+/// of the V-inverse construction.
+class ValueFactory {
+ public:
+  /// Starts minting above `floor` (exclusive).
+  explicit ValueFactory(std::int64_t floor = 0) : next_(floor + 1) {}
+
+  /// Returns a value never returned before and greater than the floor.
+  Value Fresh() { return Value(next_++); }
+
+  /// Raises the floor so future values exceed `v`.
+  void NoteUsed(Value v) {
+    if (v.id >= next_) next_ = v.id + 1;
+  }
+
+ private:
+  std::int64_t next_;
+};
+
+/// Bidirectional mapping between human-readable constant names and values.
+/// Only the parsers and printers use this; the algorithms treat values as
+/// opaque, as genericity requires.
+class NamePool {
+ public:
+  /// Interns `name`, assigning a new value on first use.
+  Value Intern(const std::string& name);
+
+  /// The name for `v`, or a synthesized "#<id>" if v was never interned.
+  std::string NameOf(Value v) const;
+
+  /// Largest value handed out so far (0 if none).
+  std::int64_t MaxId() const { return next_ - 1; }
+
+ private:
+  std::map<std::string, Value> by_name_;
+  std::map<std::int64_t, std::string> by_id_;
+  std::int64_t next_ = 1;
+};
+
+}  // namespace vqdr
+
+template <>
+struct std::hash<vqdr::Value> {
+  std::size_t operator()(vqdr::Value v) const noexcept {
+    return std::hash<std::int64_t>()(v.id);
+  }
+};
+
+#endif  // VQDR_DATA_VALUE_H_

@@ -1,0 +1,31 @@
+#ifndef VQDR_FO_EVALUATOR_H_
+#define VQDR_FO_EVALUATOR_H_
+
+#include <map>
+#include <string>
+
+#include "data/instance.h"
+#include "fo/formula.h"
+
+namespace vqdr {
+
+/// Active-domain FO semantics: quantifiers range over adom(D) together with
+/// the constants mentioned in the formula. This is the standard finite-model
+/// evaluation for generic queries (Abiteboul–Hull–Vianu, ch. 5); all of the
+/// paper's FO constructions are domain-independent over this range.
+
+/// Truth of `formula` in `db` under `binding` (must cover the free
+/// variables).
+bool EvalFo(const FoPtr& formula, const Instance& db,
+            const std::map<std::string, Value>& binding);
+
+/// Truth of a sentence (no free variables).
+bool FoSentenceHolds(const FoPtr& sentence, const Instance& db);
+
+/// Q(D): enumerates assignments of the query's free variables over
+/// adom(D) ∪ constants(Q) and collects satisfying tuples.
+Relation EvaluateFo(const FoQuery& q, const Instance& db);
+
+}  // namespace vqdr
+
+#endif  // VQDR_FO_EVALUATOR_H_

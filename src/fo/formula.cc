@@ -1,0 +1,309 @@
+#include "fo/formula.h"
+
+#include <functional>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace vqdr {
+
+namespace {
+
+FoPtr Make(FoFormula::Kind kind) {
+  struct Access : FoFormula {
+    explicit Access(Kind k) : FoFormula(k) {}
+  };
+  return std::make_shared<Access>(kind);
+}
+
+// Mutable access during construction only.
+FoFormula* Mut(const FoPtr& p) { return const_cast<FoFormula*>(p.get()); }
+
+}  // namespace
+
+FoPtr FoFormula::True() { return Make(Kind::kTrue); }
+FoPtr FoFormula::False() { return Make(Kind::kFalse); }
+
+FoPtr FoFormula::MakeAtom(Atom atom) {
+  FoPtr p = Make(Kind::kAtom);
+  Mut(p)->atom_ = std::move(atom);
+  return p;
+}
+
+FoPtr FoFormula::Eq(Term lhs, Term rhs) {
+  FoPtr p = Make(Kind::kEquals);
+  Mut(p)->lhs_ = std::move(lhs);
+  Mut(p)->rhs_ = std::move(rhs);
+  return p;
+}
+
+FoPtr FoFormula::Not(FoPtr child) {
+  VQDR_CHECK(child != nullptr);
+  FoPtr p = Make(Kind::kNot);
+  Mut(p)->children_ = {std::move(child)};
+  return p;
+}
+
+FoPtr FoFormula::And(std::vector<FoPtr> children) {
+  if (children.empty()) return True();
+  if (children.size() == 1) return children[0];
+  FoPtr p = Make(Kind::kAnd);
+  Mut(p)->children_ = std::move(children);
+  return p;
+}
+
+FoPtr FoFormula::Or(std::vector<FoPtr> children) {
+  if (children.empty()) return False();
+  if (children.size() == 1) return children[0];
+  FoPtr p = Make(Kind::kOr);
+  Mut(p)->children_ = std::move(children);
+  return p;
+}
+
+FoPtr FoFormula::Implies(FoPtr lhs, FoPtr rhs) {
+  FoPtr p = Make(Kind::kImplies);
+  Mut(p)->children_ = {std::move(lhs), std::move(rhs)};
+  return p;
+}
+
+FoPtr FoFormula::Iff(FoPtr lhs, FoPtr rhs) {
+  FoPtr p = Make(Kind::kIff);
+  Mut(p)->children_ = {std::move(lhs), std::move(rhs)};
+  return p;
+}
+
+FoPtr FoFormula::Exists(std::vector<std::string> vars, FoPtr body) {
+  if (vars.empty()) return body;
+  FoPtr p = Make(Kind::kExists);
+  Mut(p)->vars_ = std::move(vars);
+  Mut(p)->children_ = {std::move(body)};
+  return p;
+}
+
+FoPtr FoFormula::Forall(std::vector<std::string> vars, FoPtr body) {
+  if (vars.empty()) return body;
+  FoPtr p = Make(Kind::kForall);
+  Mut(p)->vars_ = std::move(vars);
+  Mut(p)->children_ = {std::move(body)};
+  return p;
+}
+
+const Atom& FoFormula::atom() const {
+  VQDR_CHECK(kind_ == Kind::kAtom);
+  return atom_;
+}
+
+const Term& FoFormula::lhs() const {
+  VQDR_CHECK(kind_ == Kind::kEquals);
+  return lhs_;
+}
+
+const Term& FoFormula::rhs() const {
+  VQDR_CHECK(kind_ == Kind::kEquals);
+  return rhs_;
+}
+
+std::set<std::string> FoFormula::FreeVariables() const {
+  std::set<std::string> free;
+  std::function<void(const FoFormula&, std::set<std::string>&)> visit =
+      [&](const FoFormula& f, std::set<std::string>& bound) {
+        switch (f.kind_) {
+          case Kind::kTrue:
+          case Kind::kFalse:
+            return;
+          case Kind::kAtom:
+            for (const Term& t : f.atom_.args) {
+              if (t.is_var() && bound.count(t.var()) == 0) free.insert(t.var());
+            }
+            return;
+          case Kind::kEquals:
+            for (const Term* t : {&f.lhs_, &f.rhs_}) {
+              if (t->is_var() && bound.count(t->var()) == 0) {
+                free.insert(t->var());
+              }
+            }
+            return;
+          case Kind::kExists:
+          case Kind::kForall: {
+            std::set<std::string> inner = bound;
+            for (const std::string& v : f.vars_) inner.insert(v);
+            visit(*f.children_[0], inner);
+            return;
+          }
+          default:
+            for (const FoPtr& c : f.children_) visit(*c, bound);
+            return;
+        }
+      };
+  std::set<std::string> bound;
+  visit(*this, bound);
+  return free;
+}
+
+std::set<Value> FoFormula::Constants() const {
+  std::set<Value> constants;
+  std::function<void(const FoFormula&)> visit = [&](const FoFormula& f) {
+    if (f.kind_ == Kind::kAtom) {
+      for (const Term& t : f.atom_.args) {
+        if (t.is_const()) constants.insert(t.constant());
+      }
+    } else if (f.kind_ == Kind::kEquals) {
+      if (f.lhs_.is_const()) constants.insert(f.lhs_.constant());
+      if (f.rhs_.is_const()) constants.insert(f.rhs_.constant());
+    }
+    for (const FoPtr& c : f.children_) visit(*c);
+  };
+  visit(*this);
+  return constants;
+}
+
+Schema FoFormula::UsedSchema() const {
+  Schema schema;
+  std::function<void(const FoFormula&)> visit = [&](const FoFormula& f) {
+    if (f.kind_ == Kind::kAtom) {
+      schema.Add(f.atom_.predicate, f.atom_.arity());
+    }
+    for (const FoPtr& c : f.children_) visit(*c);
+  };
+  visit(*this);
+  return schema;
+}
+
+bool FoFormula::IsExistential() const {
+  // positive=true means the subformula occurs under an even number of
+  // negations (counting the left side of -> as negative; <-> mixes both).
+  std::function<bool(const FoFormula&, bool)> ok = [&](const FoFormula& f,
+                                                       bool positive) -> bool {
+    switch (f.kind_) {
+      case Kind::kTrue:
+      case Kind::kFalse:
+      case Kind::kAtom:
+      case Kind::kEquals:
+        return true;
+      case Kind::kNot:
+        return ok(*f.children_[0], !positive);
+      case Kind::kAnd:
+      case Kind::kOr: {
+        for (const FoPtr& c : f.children_) {
+          if (!ok(*c, positive)) return false;
+        }
+        return true;
+      }
+      case Kind::kImplies:
+        return ok(*f.children_[0], !positive) && ok(*f.children_[1], positive);
+      case Kind::kIff:
+        // Both polarities occur on both sides.
+        return ok(*f.children_[0], true) && ok(*f.children_[0], false) &&
+               ok(*f.children_[1], true) && ok(*f.children_[1], false);
+      case Kind::kExists:
+        return positive && ok(*f.children_[0], positive);
+      case Kind::kForall:
+        return !positive && ok(*f.children_[0], positive);
+    }
+    return false;
+  };
+  return ok(*this, true);
+}
+
+FoPtr FoFormula::RenameRelations(
+    const std::function<std::string(const std::string&)>& rename) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return True();
+    case Kind::kFalse:
+      return False();
+    case Kind::kAtom: {
+      Atom renamed = atom_;
+      renamed.predicate = rename(atom_.predicate);
+      return MakeAtom(std::move(renamed));
+    }
+    case Kind::kEquals:
+      return Eq(lhs_, rhs_);
+    case Kind::kNot:
+      return Not(children_[0]->RenameRelations(rename));
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<FoPtr> kids;
+      kids.reserve(children_.size());
+      for (const FoPtr& c : children_) {
+        kids.push_back(c->RenameRelations(rename));
+      }
+      return kind_ == Kind::kAnd ? And(std::move(kids)) : Or(std::move(kids));
+    }
+    case Kind::kImplies:
+      return Implies(children_[0]->RenameRelations(rename),
+                     children_[1]->RenameRelations(rename));
+    case Kind::kIff:
+      return Iff(children_[0]->RenameRelations(rename),
+                 children_[1]->RenameRelations(rename));
+    case Kind::kExists:
+      return Exists(vars_, children_[0]->RenameRelations(rename));
+    case Kind::kForall:
+      return Forall(vars_, children_[0]->RenameRelations(rename));
+  }
+  VQDR_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+std::string FoFormula::ToString() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case Kind::kTrue:
+      out << "true";
+      break;
+    case Kind::kFalse:
+      out << "false";
+      break;
+    case Kind::kAtom:
+      out << atom_.ToString();
+      break;
+    case Kind::kEquals:
+      out << lhs_.ToString() << " = " << rhs_.ToString();
+      break;
+    case Kind::kNot:
+      out << "!(" << children_[0]->ToString() << ")";
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      out << "(";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out << (kind_ == Kind::kAnd ? " & " : " | ");
+        out << children_[i]->ToString();
+      }
+      out << ")";
+      break;
+    }
+    case Kind::kImplies:
+      out << "(" << children_[0]->ToString() << " -> "
+          << children_[1]->ToString() << ")";
+      break;
+    case Kind::kIff:
+      out << "(" << children_[0]->ToString() << " <-> "
+          << children_[1]->ToString() << ")";
+      break;
+    case Kind::kExists:
+    case Kind::kForall: {
+      out << (kind_ == Kind::kExists ? "exists " : "forall ");
+      for (std::size_t i = 0; i < vars_.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << vars_[i];
+      }
+      out << " . " << children_[0]->ToString();
+      break;
+    }
+  }
+  return out.str();
+}
+
+std::string FoQuery::ToString() const {
+  std::ostringstream out;
+  out << head_name << "(";
+  for (std::size_t i = 0; i < free_vars.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << free_vars[i];
+  }
+  out << ") := " << (formula ? formula->ToString() : "<null>");
+  return out.str();
+}
+
+}  // namespace vqdr

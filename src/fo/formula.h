@@ -1,0 +1,110 @@
+#ifndef VQDR_FO_FORMULA_H_
+#define VQDR_FO_FORMULA_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cq/atom.h"
+#include "data/schema.h"
+
+namespace vqdr {
+
+class FoFormula;
+/// Formulas are immutable trees shared via shared_ptr.
+using FoPtr = std::shared_ptr<const FoFormula>;
+
+/// A first-order formula over a relational vocabulary, with equality and
+/// constants from dom (Figure 1's FO). Built via the static factories;
+/// evaluated with active-domain semantics (see fo/evaluator.h).
+class FoFormula {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kAtom,     // R(t1, …, tk)
+    kEquals,   // t1 = t2
+    kNot,
+    kAnd,      // n-ary
+    kOr,       // n-ary
+    kImplies,  // binary
+    kIff,      // binary
+    kExists,   // ∃ vars . body
+    kForall,   // ∀ vars . body
+  };
+
+  // --- Factories ---
+  static FoPtr True();
+  static FoPtr False();
+  static FoPtr MakeAtom(Atom atom);
+  static FoPtr Eq(Term lhs, Term rhs);
+  static FoPtr Not(FoPtr child);
+  static FoPtr And(std::vector<FoPtr> children);
+  static FoPtr Or(std::vector<FoPtr> children);
+  static FoPtr Implies(FoPtr lhs, FoPtr rhs);
+  static FoPtr Iff(FoPtr lhs, FoPtr rhs);
+  static FoPtr Exists(std::vector<std::string> vars, FoPtr body);
+  static FoPtr Forall(std::vector<std::string> vars, FoPtr body);
+
+  Kind kind() const { return kind_; }
+
+  /// For kAtom.
+  const Atom& atom() const;
+  /// For kEquals.
+  const Term& lhs() const;
+  const Term& rhs() const;
+  /// For kNot / kExists / kForall: the single child. For kImplies/kIff:
+  /// children()[0] and children()[1].
+  const std::vector<FoPtr>& children() const { return children_; }
+  /// For kExists / kForall.
+  const std::vector<std::string>& quantified_vars() const { return vars_; }
+
+  /// Free variables of the formula.
+  std::set<std::string> FreeVariables() const;
+
+  /// Constants mentioned anywhere.
+  std::set<Value> Constants() const;
+
+  /// Relation symbols used, with arities.
+  Schema UsedSchema() const;
+
+  /// True if the formula is in the ∃FO fragment: no universal quantifier in
+  /// positive position and no existential in negative position (checked by
+  /// polarity, so e.g. ¬∀x.¬R(x) counts as existential).
+  bool IsExistential() const;
+
+  /// A copy with every relation symbol renamed via `rename` (used by the
+  /// twin-schema constructions).
+  FoPtr RenameRelations(
+      const std::function<std::string(const std::string&)>& rename) const;
+
+  /// Structural rendering, e.g. "forall x . (R(x) -> exists y . E(x, y))".
+  std::string ToString() const;
+
+ protected:
+  explicit FoFormula(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+  Atom atom_;                       // kAtom
+  Term lhs_, rhs_;                  // kEquals
+  std::vector<FoPtr> children_;     // connectives / quantifier body
+  std::vector<std::string> vars_;   // quantified variables
+};
+
+/// A first-order *query*: a formula with a designated tuple of free
+/// variables as output. Boolean queries (sentences) have no free variables.
+struct FoQuery {
+  std::string head_name = "Q";
+  std::vector<std::string> free_vars;
+  FoPtr formula;
+
+  int head_arity() const { return static_cast<int>(free_vars.size()); }
+  std::string ToString() const;
+};
+
+}  // namespace vqdr
+
+#endif  // VQDR_FO_FORMULA_H_

@@ -1,0 +1,78 @@
+#include "fo/from_cq.h"
+
+#include <vector>
+
+#include "base/check.h"
+
+namespace vqdr {
+
+namespace {
+
+// Builds the matrix of one disjunct with head placeholders `heads`.
+FoPtr DisjunctFormula(const ConjunctiveQuery& q,
+                      const std::vector<std::string>& heads) {
+  // Rename body variables apart from placeholders.
+  ConjunctiveQuery body = q.RenameVariables(
+      [](const std::string& v) { return v + "#b"; });
+
+  std::vector<FoPtr> conjuncts;
+  for (const Atom& a : body.atoms()) {
+    conjuncts.push_back(FoFormula::MakeAtom(a));
+  }
+  for (const Atom& a : body.negated_atoms()) {
+    conjuncts.push_back(FoFormula::Not(FoFormula::MakeAtom(a)));
+  }
+  for (const TermComparison& c : body.equalities()) {
+    conjuncts.push_back(FoFormula::Eq(c.lhs, c.rhs));
+  }
+  for (const TermComparison& c : body.disequalities()) {
+    conjuncts.push_back(FoFormula::Not(FoFormula::Eq(c.lhs, c.rhs)));
+  }
+  for (std::size_t i = 0; i < heads.size(); ++i) {
+    conjuncts.push_back(
+        FoFormula::Eq(Term::Var(heads[i]), body.head_terms()[i]));
+  }
+
+  // Existentially close every body variable.
+  std::set<std::string> vars;
+  for (const std::string& v : body.AllVariables()) vars.insert(v);
+  std::vector<std::string> quantified(vars.begin(), vars.end());
+  return FoFormula::Exists(std::move(quantified),
+                           FoFormula::And(std::move(conjuncts)));
+}
+
+std::vector<std::string> HeadPlaceholders(int arity) {
+  std::vector<std::string> heads;
+  heads.reserve(arity);
+  for (int i = 0; i < arity; ++i) {
+    heads.push_back("h" + std::to_string(i + 1));
+  }
+  return heads;
+}
+
+}  // namespace
+
+FoQuery CqToFoQuery(const ConjunctiveQuery& q) {
+  VQDR_CHECK(q.IsSafe()) << "CqToFoQuery requires a safe query";
+  FoQuery result;
+  result.head_name = q.head_name();
+  result.free_vars = HeadPlaceholders(q.head_arity());
+  result.formula = DisjunctFormula(q, result.free_vars);
+  return result;
+}
+
+FoQuery UcqToFoQuery(const UnionQuery& q) {
+  VQDR_CHECK(!q.empty());
+  FoQuery result;
+  result.head_name = q.head_name();
+  result.free_vars = HeadPlaceholders(q.head_arity());
+  std::vector<FoPtr> disjuncts;
+  for (const ConjunctiveQuery& d : q.disjuncts()) {
+    VQDR_CHECK(d.IsSafe()) << "UcqToFoQuery requires safe disjuncts";
+    disjuncts.push_back(DisjunctFormula(d, result.free_vars));
+  }
+  result.formula = FoFormula::Or(std::move(disjuncts));
+  return result;
+}
+
+}  // namespace vqdr

@@ -1,0 +1,25 @@
+#ifndef VQDR_FO_FROM_CQ_H_
+#define VQDR_FO_FROM_CQ_H_
+
+#include "cq/conjunctive_query.h"
+#include "cq/ucq.h"
+#include "fo/formula.h"
+
+namespace vqdr {
+
+/// Converts a (safe) conjunctive query into an equivalent FO formula whose
+/// free variables are fresh head placeholders h1..hk:
+///
+///   ∃ body-vars . ⋀ atoms ∧ ⋀ ¬negated ∧ ⋀ eqs ∧ ⋀ ¬diseqs ∧ ⋀ hᵢ = headᵢ
+///
+/// Body variables are renamed apart from the placeholders. On safe queries
+/// the active-domain FO evaluation coincides with CQ evaluation.
+FoQuery CqToFoQuery(const ConjunctiveQuery& q);
+
+/// UCQ version: disjunction of the per-disjunct formulas over shared
+/// placeholders.
+FoQuery UcqToFoQuery(const UnionQuery& q);
+
+}  // namespace vqdr
+
+#endif  // VQDR_FO_FROM_CQ_H_

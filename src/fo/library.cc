@@ -1,0 +1,45 @@
+#include "fo/library.h"
+
+namespace vqdr {
+
+namespace {
+
+FoPtr Lt(const std::string& rel, const std::string& a, const std::string& b) {
+  return FoFormula::MakeAtom(Atom(rel, {Term::Var(a), Term::Var(b)}));
+}
+
+}  // namespace
+
+FoPtr StrictTotalOrderSentence(const std::string& rel) {
+  using F = FoFormula;
+  FoPtr irreflexive = F::Forall({"x"}, F::Not(Lt(rel, "x", "x")));
+  FoPtr transitive = F::Forall(
+      {"x", "y", "z"},
+      F::Implies(F::And({Lt(rel, "x", "y"), Lt(rel, "y", "z")}),
+                 Lt(rel, "x", "z")));
+  FoPtr total = F::Forall(
+      {"x", "y"},
+      F::Implies(F::Not(F::Eq(Term::Var("x"), Term::Var("y"))),
+                 F::Or({Lt(rel, "x", "y"), Lt(rel, "y", "x")})));
+  return F::And({irreflexive, transitive, total});
+}
+
+FoPtr LinearOrderSentence(const std::string& rel) {
+  using F = FoFormula;
+  FoPtr reflexive = F::Forall({"x"}, Lt(rel, "x", "x"));
+  FoPtr antisymmetric = F::Forall(
+      {"x", "y"},
+      F::Implies(F::And({Lt(rel, "x", "y"), Lt(rel, "y", "x")}),
+                 F::Eq(Term::Var("x"), Term::Var("y"))));
+  FoPtr transitive = F::Forall(
+      {"x", "y", "z"},
+      F::Implies(F::And({Lt(rel, "x", "y"), Lt(rel, "y", "z")}),
+                 Lt(rel, "x", "z")));
+  FoPtr total = F::Forall(
+      {"x", "y"}, F::Or({Lt(rel, "x", "y"), Lt(rel, "y", "x")}));
+  return F::And({reflexive, antisymmetric, transitive, total});
+}
+
+FoPtr AndAlso(FoPtr a, FoPtr b) { return FoFormula::And({a, b}); }
+
+}  // namespace vqdr

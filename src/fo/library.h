@@ -1,0 +1,26 @@
+#ifndef VQDR_FO_LIBRARY_H_
+#define VQDR_FO_LIBRARY_H_
+
+#include <string>
+
+#include "fo/formula.h"
+
+namespace vqdr {
+
+/// Builders for the stock FO sentences used by the paper's constructions.
+
+/// ψ of Example 3.2 (with strict orders, as in Proposition 5.7): the binary
+/// relation `rel` is a strict total order on the active domain —
+/// irreflexive, transitive, and total (x ≠ y → x<y ∨ y<x).
+FoPtr StrictTotalOrderSentence(const std::string& rel);
+
+/// `rel` is a (non-strict) linear order ≤ on the active domain: reflexive,
+/// antisymmetric, transitive, total.
+FoPtr LinearOrderSentence(const std::string& rel);
+
+/// The conjunction of two formulas (convenience).
+FoPtr AndAlso(FoPtr a, FoPtr b);
+
+}  // namespace vqdr
+
+#endif  // VQDR_FO_LIBRARY_H_

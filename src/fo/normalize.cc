@@ -1,0 +1,103 @@
+#include "fo/normalize.h"
+
+#include <vector>
+
+#include "base/check.h"
+
+namespace vqdr {
+
+FoPtr ToAndNotExists(const FoPtr& formula) {
+  using F = FoFormula;
+  using Kind = FoFormula::Kind;
+  switch (formula->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kAtom:
+    case Kind::kEquals:
+      return formula;
+    case Kind::kNot:
+      return F::Not(ToAndNotExists(formula->children()[0]));
+    case Kind::kAnd: {
+      std::vector<FoPtr> kids;
+      for (const FoPtr& c : formula->children()) {
+        kids.push_back(ToAndNotExists(c));
+      }
+      return F::And(std::move(kids));
+    }
+    case Kind::kOr: {
+      // ψ ∨ χ ⇒ ¬(¬ψ ∧ ¬χ)
+      std::vector<FoPtr> kids;
+      for (const FoPtr& c : formula->children()) {
+        kids.push_back(F::Not(ToAndNotExists(c)));
+      }
+      return F::Not(F::And(std::move(kids)));
+    }
+    case Kind::kImplies:
+      return F::Not(F::And({ToAndNotExists(formula->children()[0]),
+                            F::Not(ToAndNotExists(formula->children()[1]))}));
+    case Kind::kIff: {
+      FoPtr a = formula->children()[0];
+      FoPtr b = formula->children()[1];
+      return F::And({ToAndNotExists(F::Implies(a, b)),
+                     ToAndNotExists(F::Implies(b, a))});
+    }
+    case Kind::kExists: {
+      FoPtr body = ToAndNotExists(formula->children()[0]);
+      // Split multi-variable quantifiers into nested single ones.
+      const std::vector<std::string>& vars = formula->quantified_vars();
+      for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+        body = F::Exists({*it}, body);
+      }
+      return body;
+    }
+    case Kind::kForall: {
+      FoPtr body = F::Not(ToAndNotExists(formula->children()[0]));
+      const std::vector<std::string>& vars = formula->quantified_vars();
+      for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+        body = F::Exists({*it}, body);
+      }
+      return F::Not(body);
+    }
+  }
+  VQDR_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+FoPtr SimplifyDoubleNegation(const FoPtr& formula) {
+  using F = FoFormula;
+  using Kind = FoFormula::Kind;
+  switch (formula->kind()) {
+    case Kind::kNot: {
+      const FoPtr& child = formula->children()[0];
+      if (child->kind() == Kind::kNot) {
+        return SimplifyDoubleNegation(child->children()[0]);
+      }
+      return F::Not(SimplifyDoubleNegation(child));
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<FoPtr> kids;
+      for (const FoPtr& c : formula->children()) {
+        kids.push_back(SimplifyDoubleNegation(c));
+      }
+      return formula->kind() == Kind::kAnd ? F::And(std::move(kids))
+                                           : F::Or(std::move(kids));
+    }
+    case Kind::kImplies:
+      return F::Implies(SimplifyDoubleNegation(formula->children()[0]),
+                        SimplifyDoubleNegation(formula->children()[1]));
+    case Kind::kIff:
+      return F::Iff(SimplifyDoubleNegation(formula->children()[0]),
+                    SimplifyDoubleNegation(formula->children()[1]));
+    case Kind::kExists:
+      return F::Exists(formula->quantified_vars(),
+                       SimplifyDoubleNegation(formula->children()[0]));
+    case Kind::kForall:
+      return F::Forall(formula->quantified_vars(),
+                       SimplifyDoubleNegation(formula->children()[0]));
+    default:
+      return formula;
+  }
+}
+
+}  // namespace vqdr

@@ -1,0 +1,24 @@
+#ifndef VQDR_FO_NORMALIZE_H_
+#define VQDR_FO_NORMALIZE_H_
+
+#include "fo/formula.h"
+
+namespace vqdr {
+
+/// Rewrites a formula into the {∧, ¬, ∃} fragment (plus atoms/equality/
+/// true/false), eliminating ∀, ∨, →, ↔:
+///
+///   ∀x.ψ ⇒ ¬∃x.¬ψ      ψ∨χ ⇒ ¬(¬ψ ∧ ¬χ)
+///   ψ→χ ⇒ ¬(ψ ∧ ¬χ)    ψ↔χ ⇒ (ψ→χ) ∧ (χ→ψ), then recurse
+///
+/// Multi-variable quantifiers are split into nested single-variable ones.
+/// Used by the Theorem 5.4 construction, which is defined by structural
+/// induction over this fragment.
+FoPtr ToAndNotExists(const FoPtr& formula);
+
+/// Eliminates double negations ¬¬ψ ⇒ ψ (keeps the fragment).
+FoPtr SimplifyDoubleNegation(const FoPtr& formula);
+
+}  // namespace vqdr
+
+#endif  // VQDR_FO_NORMALIZE_H_

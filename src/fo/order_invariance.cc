@@ -1,0 +1,51 @@
+#include "fo/order_invariance.h"
+
+#include <algorithm>
+
+#include "fo/evaluator.h"
+
+namespace vqdr {
+
+Instance WithStrictOrder(const Instance& db, const std::string& order_rel,
+                         const std::vector<Value>& ranked) {
+  Schema schema = db.schema();
+  schema.Add(order_rel, 2);
+  Instance result(schema);
+  for (const RelationDecl& d : db.schema().decls()) {
+    result.Set(d.name, db.Get(d.name));
+  }
+  Relation order(2);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    for (std::size_t j = i + 1; j < ranked.size(); ++j) {
+      order.Insert(Tuple{ranked[i], ranked[j]});
+    }
+  }
+  result.Set(order_rel, order);
+  return result;
+}
+
+OrderInvarianceResult CheckOrderInvariance(const FoQuery& q,
+                                           const Instance& db,
+                                           const std::string& order_rel) {
+  OrderInvarianceResult result;
+  std::set<Value> adom_set = db.ActiveDomain();
+  std::vector<Value> ranked(adom_set.begin(), adom_set.end());
+
+  bool first = true;
+  result.invariant = true;
+  do {
+    Instance ordered = WithStrictOrder(db, order_rel, ranked);
+    Relation answer = EvaluateFo(q, ordered);
+    ++result.orders_checked;
+    if (first) {
+      result.answer = answer;
+      first = false;
+    } else if (answer != result.answer) {
+      result.invariant = false;
+      return result;
+    }
+  } while (std::next_permutation(ranked.begin(), ranked.end()));
+  return result;
+}
+
+}  // namespace vqdr

@@ -1,0 +1,41 @@
+#ifndef VQDR_FO_ORDER_INVARIANCE_H_
+#define VQDR_FO_ORDER_INVARIANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/instance.h"
+#include "fo/formula.h"
+
+namespace vqdr {
+
+/// Result of checking whether an order-augmented FO query is
+/// order-invariant on a given instance (Example 3.2 / Proposition 5.7).
+struct OrderInvarianceResult {
+  /// True if the query returned the same answer under every strict total
+  /// order on the active domain.
+  bool invariant = false;
+
+  /// The common answer when invariant (the answer under the first order
+  /// otherwise).
+  Relation answer{0};
+
+  /// Number of orders examined (|adom|! for exhaustive checking).
+  std::size_t orders_checked = 0;
+};
+
+/// Extends `db` with `order_rel` holding the strict total order induced by
+/// `ranked` (ranked[i] < ranked[j] for i < j).
+Instance WithStrictOrder(const Instance& db, const std::string& order_rel,
+                         const std::vector<Value>& ranked);
+
+/// Evaluates `q` (over the schema of `db` plus binary `order_rel`) under
+/// every strict total order on adom(db) and reports whether the answer is
+/// independent of the order. Exhaustive: |adom(db)|! evaluations.
+OrderInvarianceResult CheckOrderInvariance(const FoQuery& q,
+                                           const Instance& db,
+                                           const std::string& order_rel);
+
+}  // namespace vqdr
+
+#endif  // VQDR_FO_ORDER_INVARIANCE_H_

@@ -1,0 +1,340 @@
+#include "fo/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace vqdr {
+
+namespace {
+
+enum class Tok {
+  kId,
+  kConst,
+  kLparen,
+  kRparen,
+  kComma,
+  kDot,
+  kBang,
+  kAmp,
+  kPipe,
+  kArrow,    // ->
+  kDarrow,   // <->
+  kEq,
+  kNeq,
+  kDefine,   // :=
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+};
+
+StatusOr<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back({Tok::kId, std::string(text.substr(start, i - start))});
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t start = ++i;
+      while (i < text.size() && text[i] != '\'') ++i;
+      if (i >= text.size()) return Status::Error("unterminated constant");
+      tokens.push_back(
+          {Tok::kConst, std::string(text.substr(start, i - start))});
+      ++i;
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return i + 1 < text.size() && text[i] == a && text[i + 1] == b;
+    };
+    if (i + 2 < text.size() && text[i] == '<' && text[i + 1] == '-' &&
+        text[i + 2] == '>') {
+      tokens.push_back({Tok::kDarrow, "<->"});
+      i += 3;
+      continue;
+    }
+    if (two('-', '>')) {
+      tokens.push_back({Tok::kArrow, "->"});
+      i += 2;
+      continue;
+    }
+    if (two('!', '=')) {
+      tokens.push_back({Tok::kNeq, "!="});
+      i += 2;
+      continue;
+    }
+    if (two(':', '=')) {
+      tokens.push_back({Tok::kDefine, ":="});
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        tokens.push_back({Tok::kLparen, "("});
+        break;
+      case ')':
+        tokens.push_back({Tok::kRparen, ")"});
+        break;
+      case ',':
+        tokens.push_back({Tok::kComma, ","});
+        break;
+      case '.':
+        tokens.push_back({Tok::kDot, "."});
+        break;
+      case '!':
+        tokens.push_back({Tok::kBang, "!"});
+        break;
+      case '&':
+        tokens.push_back({Tok::kAmp, "&"});
+        break;
+      case '|':
+        tokens.push_back({Tok::kPipe, "|"});
+        break;
+      case '=':
+        tokens.push_back({Tok::kEq, "="});
+        break;
+      default:
+        return Status::Error(std::string("unexpected character '") + c +
+                             "' in formula");
+    }
+    ++i;
+  }
+  tokens.push_back({Tok::kEnd, ""});
+  return tokens;
+}
+
+class FoParser {
+ public:
+  FoParser(std::vector<Token> tokens, NamePool& pool)
+      : tokens_(std::move(tokens)), pool_(pool) {}
+
+  StatusOr<FoPtr> ParseFormula() {
+    StatusOr<FoPtr> f = ParseIff();
+    if (!f.ok()) return f;
+    if (Peek().kind != Tok::kEnd) {
+      return Status::Error("trailing input after formula: '" + Peek().text +
+                           "'");
+    }
+    return f;
+  }
+
+  StatusOr<FoQuery> ParseQuery() {
+    if (Peek().kind != Tok::kId) return Status::Error("expected head name");
+    FoQuery q;
+    q.head_name = Advance().text;
+    if (!Consume(Tok::kLparen)) return Status::Error("expected '('");
+    if (!Consume(Tok::kRparen)) {
+      while (true) {
+        if (Peek().kind != Tok::kId) {
+          return Status::Error("expected head variable");
+        }
+        q.free_vars.push_back(Advance().text);
+        if (Consume(Tok::kComma)) continue;
+        if (Consume(Tok::kRparen)) break;
+        return Status::Error("expected ',' or ')' in head");
+      }
+    }
+    if (!Consume(Tok::kDefine)) return Status::Error("expected ':='");
+    StatusOr<FoPtr> f = ParseIff();
+    if (!f.ok()) return f.status();
+    if (Peek().kind != Tok::kEnd) {
+      return Status::Error("trailing input after formula");
+    }
+    q.formula = std::move(f).value();
+    // Free variables must be covered by the head.
+    for (const std::string& v : q.formula->FreeVariables()) {
+      bool found = false;
+      for (const std::string& fv : q.free_vars) {
+        if (fv == v) found = true;
+      }
+      if (!found) {
+        return Status::Error("free variable " + v + " not in query head");
+      }
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Consume(Tok kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<FoPtr> ParseIff() {
+    StatusOr<FoPtr> lhs = ParseImplies();
+    if (!lhs.ok()) return lhs;
+    FoPtr result = std::move(lhs).value();
+    while (Consume(Tok::kDarrow)) {
+      StatusOr<FoPtr> rhs = ParseImplies();
+      if (!rhs.ok()) return rhs;
+      result = FoFormula::Iff(result, std::move(rhs).value());
+    }
+    return result;
+  }
+
+  StatusOr<FoPtr> ParseImplies() {
+    StatusOr<FoPtr> lhs = ParseOr();
+    if (!lhs.ok()) return lhs;
+    if (Consume(Tok::kArrow)) {
+      StatusOr<FoPtr> rhs = ParseImplies();  // right-associative
+      if (!rhs.ok()) return rhs;
+      return FoFormula::Implies(std::move(lhs).value(),
+                                std::move(rhs).value());
+    }
+    return lhs;
+  }
+
+  StatusOr<FoPtr> ParseOr() {
+    StatusOr<FoPtr> first = ParseAnd();
+    if (!first.ok()) return first;
+    std::vector<FoPtr> parts{std::move(first).value()};
+    while (Consume(Tok::kPipe)) {
+      StatusOr<FoPtr> next = ParseAnd();
+      if (!next.ok()) return next;
+      parts.push_back(std::move(next).value());
+    }
+    return FoFormula::Or(std::move(parts));
+  }
+
+  StatusOr<FoPtr> ParseAnd() {
+    StatusOr<FoPtr> first = ParseUnary();
+    if (!first.ok()) return first;
+    std::vector<FoPtr> parts{std::move(first).value()};
+    while (Consume(Tok::kAmp)) {
+      StatusOr<FoPtr> next = ParseUnary();
+      if (!next.ok()) return next;
+      parts.push_back(std::move(next).value());
+    }
+    return FoFormula::And(std::move(parts));
+  }
+
+  StatusOr<Term> ParseTerm() {
+    const Token& t = Peek();
+    if (t.kind == Tok::kId) {
+      Advance();
+      return Term::Var(t.text);
+    }
+    if (t.kind == Tok::kConst) {
+      Advance();
+      return Term::Const(pool_.Intern(t.text));
+    }
+    return Status::Error("expected term, got '" + t.text + "'");
+  }
+
+  StatusOr<FoPtr> ParseUnary() {
+    const Token& t = Peek();
+    if (t.kind == Tok::kBang) {
+      Advance();
+      StatusOr<FoPtr> child = ParseUnary();
+      if (!child.ok()) return child;
+      return FoFormula::Not(std::move(child).value());
+    }
+    if (t.kind == Tok::kId && (t.text == "forall" || t.text == "exists")) {
+      bool universal = t.text == "forall";
+      Advance();
+      std::vector<std::string> vars;
+      while (true) {
+        if (Peek().kind != Tok::kId) {
+          return Status::Error("expected quantified variable");
+        }
+        vars.push_back(Advance().text);
+        if (Consume(Tok::kComma)) continue;
+        break;
+      }
+      if (!Consume(Tok::kDot)) {
+        return Status::Error("expected '.' after quantifier variables");
+      }
+      StatusOr<FoPtr> body = ParseIff();
+      if (!body.ok()) return body;
+      return universal ? FoFormula::Forall(vars, std::move(body).value())
+                       : FoFormula::Exists(vars, std::move(body).value());
+    }
+    if (t.kind == Tok::kLparen) {
+      Advance();
+      StatusOr<FoPtr> inner = ParseIff();
+      if (!inner.ok()) return inner;
+      if (!Consume(Tok::kRparen)) return Status::Error("expected ')'");
+      return inner;
+    }
+    if (t.kind == Tok::kId && t.text == "true") {
+      Advance();
+      return FoFormula::True();
+    }
+    if (t.kind == Tok::kId && t.text == "false") {
+      Advance();
+      return FoFormula::False();
+    }
+    // Atom or comparison.
+    if (t.kind == Tok::kId && tokens_[pos_ + 1].kind == Tok::kLparen) {
+      std::string pred = Advance().text;
+      Advance();  // '('
+      std::vector<Term> args;
+      if (!Consume(Tok::kRparen)) {
+        while (true) {
+          StatusOr<Term> term = ParseTerm();
+          if (!term.ok()) return term.status();
+          args.push_back(std::move(term).value());
+          if (Consume(Tok::kComma)) continue;
+          if (Consume(Tok::kRparen)) break;
+          return Status::Error("expected ',' or ')' in atom");
+        }
+      }
+      return FoFormula::MakeAtom(Atom(pred, std::move(args)));
+    }
+    StatusOr<Term> lhs = ParseTerm();
+    if (!lhs.ok()) return lhs.status();
+    if (Consume(Tok::kEq)) {
+      StatusOr<Term> rhs = ParseTerm();
+      if (!rhs.ok()) return rhs.status();
+      return FoFormula::Eq(std::move(lhs).value(), std::move(rhs).value());
+    }
+    if (Consume(Tok::kNeq)) {
+      StatusOr<Term> rhs = ParseTerm();
+      if (!rhs.ok()) return rhs.status();
+      return FoFormula::Not(
+          FoFormula::Eq(std::move(lhs).value(), std::move(rhs).value()));
+    }
+    return Status::Error("expected '=' or '!=' after term");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  NamePool& pool_;
+};
+
+}  // namespace
+
+StatusOr<FoPtr> ParseFo(std::string_view text, NamePool& pool) {
+  StatusOr<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  FoParser parser(std::move(tokens).value(), pool);
+  return parser.ParseFormula();
+}
+
+StatusOr<FoQuery> ParseFoQuery(std::string_view text, NamePool& pool) {
+  StatusOr<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  FoParser parser(std::move(tokens).value(), pool);
+  return parser.ParseQuery();
+}
+
+}  // namespace vqdr

@@ -1,0 +1,35 @@
+#ifndef VQDR_FO_PARSER_H_
+#define VQDR_FO_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "data/value.h"
+#include "fo/formula.h"
+
+namespace vqdr {
+
+/// Parses a first-order formula. Grammar (loosest to tightest binding):
+///
+///   iff     := implies ('<->' implies)*
+///   implies := or ('->' or)*            (right-associative)
+///   or      := and ('|' and)*
+///   and     := unary ('&' unary)*
+///   unary   := '!' unary
+///            | ('forall'|'exists') var (',' var)* '.' iff
+///            | '(' iff ')'
+///            | 'true' | 'false'
+///            | Pred '(' terms ')'
+///            | term ('='|'!=') term
+///
+/// Variables are bare identifiers; constants are 'quoted' and interned
+/// through `pool`. `t1 != t2` is sugar for `!(t1 = t2)`.
+StatusOr<FoPtr> ParseFo(std::string_view text, NamePool& pool);
+
+/// Parses an FO query "Q(x, y) := <formula>". The formula's free variables
+/// must all appear in the head.
+StatusOr<FoQuery> ParseFoQuery(std::string_view text, NamePool& pool);
+
+}  // namespace vqdr
+
+#endif  // VQDR_FO_PARSER_H_

@@ -1,0 +1,100 @@
+#include "gen/enumerate.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "data/isomorphism.h"
+
+namespace vqdr {
+
+namespace {
+
+// All tuples of the given arity over `universe`.
+std::vector<Tuple> UniverseTuples(int arity, const std::vector<Value>& universe) {
+  std::vector<Tuple> result;
+  if (arity == 0) {
+    result.push_back(Tuple{});
+    return result;
+  }
+  Tuple current(arity);
+  std::function<void(int)> rec = [&](int pos) {
+    if (pos == arity) {
+      result.push_back(current);
+      return;
+    }
+    for (Value v : universe) {
+      current[pos] = v;
+      rec(pos + 1);
+    }
+  };
+  rec(0);
+  return result;
+}
+
+}  // namespace
+
+EnumerationOutcome ForEachInstanceOver(
+    const Schema& schema, const std::vector<Value>& universe,
+    std::uint64_t max_instances,
+    const std::function<bool(const Instance&)>& body) {
+  EnumerationOutcome outcome;
+
+  std::vector<std::vector<Tuple>> pools;
+  for (const RelationDecl& d : schema.decls()) {
+    pools.push_back(UniverseTuples(d.arity, universe));
+    if (pools.back().size() >= 63u) {
+      // 2^63+ candidate relations: the space is not enumerable. Report an
+      // incomplete (empty) sweep instead of aborting, so budgeted callers
+      // degrade gracefully.
+      outcome.complete = false;
+      return outcome;
+    }
+  }
+
+  Instance current(schema);
+  std::function<bool(std::size_t)> rec = [&](std::size_t i) -> bool {
+    if (i == pools.size()) {
+      ++outcome.visited;
+      if (outcome.visited > max_instances) {
+        outcome.complete = false;
+        return false;
+      }
+      return body(current);
+    }
+    std::uint64_t subsets = 1ull << pools[i].size();
+    const std::string& name = schema.decls()[i].name;
+    for (std::uint64_t mask = 0; mask < subsets; ++mask) {
+      Relation rel(schema.decls()[i].arity);
+      for (std::size_t t = 0; t < pools[i].size(); ++t) {
+        if (mask & (1ull << t)) rel.Insert(pools[i][t]);
+      }
+      current.Set(name, std::move(rel));
+      if (!rec(i + 1)) return false;
+    }
+    return true;
+  };
+  rec(0);
+  return outcome;
+}
+
+EnumerationOutcome ForEachInstance(
+    const Schema& schema, const EnumerationOptions& options,
+    const std::function<bool(const Instance&)>& body) {
+  std::vector<Value> universe;
+  for (int v = 1; v <= options.domain_size; ++v) universe.push_back(Value(v));
+  return ForEachInstanceOver(schema, universe, options.max_instances, body);
+}
+
+EnumerationOutcome ForEachInstanceUpToIso(
+    const Schema& schema, const EnumerationOptions& options,
+    const std::function<bool(const Instance&)>& body) {
+  std::set<std::string> seen;
+  return ForEachInstance(schema, options, [&](const Instance& d) {
+    if (!seen.insert(CanonicalKey(d)).second) return true;
+    return body(d);
+  });
+}
+
+}  // namespace vqdr

@@ -1,0 +1,52 @@
+#ifndef VQDR_GEN_ENUMERATE_H_
+#define VQDR_GEN_ENUMERATE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "data/instance.h"
+
+namespace vqdr {
+
+/// Options bounding exhaustive instance enumeration. Enumeration over a
+/// schema with relations of arities a₁..aₘ and domain size n visits
+/// 2^(n^a₁ + … + n^aₘ) instances — keep n small.
+struct EnumerationOptions {
+  /// Values range over {1..domain_size}.
+  int domain_size = 2;
+
+  /// Hard cap on the number of instances visited; enumeration stops (and
+  /// reports truncation) beyond it.
+  std::uint64_t max_instances = 1ull << 22;
+};
+
+/// Result flag: did the enumeration cover the whole space?
+struct EnumerationOutcome {
+  bool complete = true;
+  std::uint64_t visited = 0;
+};
+
+/// Calls `body` for every instance over `schema` with active domain
+/// contained in {1..domain_size}. A false return from `body` stops early
+/// (outcome.complete stays true in that case — the search found what it
+/// wanted). Hitting max_instances sets complete=false.
+EnumerationOutcome ForEachInstance(
+    const Schema& schema, const EnumerationOptions& options,
+    const std::function<bool(const Instance&)>& body);
+
+/// Same, but visits only one representative per isomorphism class
+/// (deduplicated via canonical keys; costs |adom|! per instance).
+EnumerationOutcome ForEachInstanceUpToIso(
+    const Schema& schema, const EnumerationOptions& options,
+    const std::function<bool(const Instance&)>& body);
+
+/// Enumerates instances whose values are drawn from an explicit `universe`
+/// (used by pre-image search, where view-extent values must be available).
+EnumerationOutcome ForEachInstanceOver(
+    const Schema& schema, const std::vector<Value>& universe,
+    std::uint64_t max_instances,
+    const std::function<bool(const Instance&)>& body);
+
+}  // namespace vqdr
+
+#endif  // VQDR_GEN_ENUMERATE_H_

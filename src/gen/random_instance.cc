@@ -1,0 +1,28 @@
+#include "gen/random_instance.h"
+
+namespace vqdr {
+
+Instance RandomInstance(const Schema& schema, Rng& rng,
+                        const RandomInstanceOptions& options) {
+  Instance result(schema);
+  for (const RelationDecl& d : schema.decls()) {
+    if (d.arity == 0) {
+      if (options.randomize_propositions && rng.Chance(1, 2)) {
+        result.GetMutable(d.name).SetBool(true);
+      }
+      continue;
+    }
+    for (int i = 0; i < options.tuples_per_relation; ++i) {
+      Tuple t;
+      t.reserve(d.arity);
+      for (int j = 0; j < d.arity; ++j) {
+        t.push_back(Value(1 + static_cast<std::int64_t>(
+                                  rng.Below(options.domain_size))));
+      }
+      result.AddFact(d.name, t);
+    }
+  }
+  return result;
+}
+
+}  // namespace vqdr

@@ -1,0 +1,28 @@
+#ifndef VQDR_GEN_RANDOM_INSTANCE_H_
+#define VQDR_GEN_RANDOM_INSTANCE_H_
+
+#include "base/rng.h"
+#include "data/instance.h"
+
+namespace vqdr {
+
+/// Parameters for random instance generation.
+struct RandomInstanceOptions {
+  /// Values drawn from {1..domain_size}.
+  int domain_size = 8;
+
+  /// Tuples inserted per relation (duplicates collapse, so the realised
+  /// size may be smaller).
+  int tuples_per_relation = 12;
+
+  /// Propositions are set true with probability 1/2.
+  bool randomize_propositions = true;
+};
+
+/// A random instance over `schema`, deterministic in `rng`'s seed.
+Instance RandomInstance(const Schema& schema, Rng& rng,
+                        const RandomInstanceOptions& options);
+
+}  // namespace vqdr
+
+#endif  // VQDR_GEN_RANDOM_INSTANCE_H_

@@ -1,0 +1,78 @@
+#include "gen/random_query.h"
+
+#include "base/check.h"
+
+namespace vqdr {
+
+namespace {
+
+std::string PoolVar(std::uint64_t i) { return "v" + std::to_string(i); }
+
+// Random query over an arbitrary schema with the given variable pool.
+ConjunctiveQuery RandomCqOver(Rng& rng, const Schema& schema, int min_atoms,
+                              int max_atoms, int variable_pool,
+                              int head_arity, const std::string& head_name) {
+  VQDR_CHECK(!schema.decls().empty());
+  VQDR_CHECK_GE(min_atoms, 1);
+  VQDR_CHECK_GE(max_atoms, min_atoms);
+  VQDR_CHECK_GE(variable_pool, 1);
+
+  ConjunctiveQuery q(head_name, {});
+  int atoms = static_cast<int>(
+      rng.Range(min_atoms, max_atoms));
+  std::vector<std::string> used;
+  for (int i = 0; i < atoms; ++i) {
+    const RelationDecl& decl =
+        schema.decls()[rng.Below(schema.decls().size())];
+    Atom atom;
+    atom.predicate = decl.name;
+    for (int j = 0; j < decl.arity; ++j) {
+      std::string var = PoolVar(rng.Below(variable_pool));
+      atom.args.push_back(Term::Var(var));
+      used.push_back(var);
+    }
+    q.AddAtom(std::move(atom));
+  }
+  // Propositions only: fall back to Boolean heads.
+  if (used.empty()) return ConjunctiveQuery(head_name, {});
+
+  std::vector<Term> head;
+  for (int i = 0; i < head_arity; ++i) {
+    head.push_back(Term::Var(used[rng.Below(used.size())]));
+  }
+  ConjunctiveQuery result(head_name, head);
+  for (const Atom& a : q.atoms()) result.AddAtom(a);
+  VQDR_CHECK(result.IsSafe());
+  return result;
+}
+
+}  // namespace
+
+ConjunctiveQuery RandomCq(Rng& rng, const RandomCqOptions& options,
+                          const std::string& head_name) {
+  return RandomCqOver(rng, options.schema, options.min_atoms,
+                      options.max_atoms, options.variable_pool,
+                      options.head_arity, head_name);
+}
+
+ViewSet RandomCqViews(Rng& rng, const RandomCqOptions& options, int count) {
+  ViewSet views;
+  for (int i = 0; i < count; ++i) {
+    std::string name = "V" + std::to_string(i + 1);
+    int arity = 1 + static_cast<int>(rng.Below(2));
+    ConjunctiveQuery def =
+        RandomCqOver(rng, options.schema, options.min_atoms,
+                     options.max_atoms, options.variable_pool, arity, name);
+    views.Add(name, Query::FromCq(def));
+  }
+  return views;
+}
+
+ConjunctiveQuery RandomRewriting(Rng& rng, const ViewSet& views,
+                                 int max_atoms, int head_arity,
+                                 const std::string& head_name) {
+  return RandomCqOver(rng, views.OutputSchema(), 1, max_atoms,
+                      /*variable_pool=*/4, head_arity, head_name);
+}
+
+}  // namespace vqdr

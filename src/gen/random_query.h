@@ -1,0 +1,43 @@
+#ifndef VQDR_GEN_RANDOM_QUERY_H_
+#define VQDR_GEN_RANDOM_QUERY_H_
+
+#include "base/rng.h"
+#include "cq/conjunctive_query.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// Parameters for random conjunctive-query generation (property tests and
+/// fuzz-style sweeps).
+struct RandomCqOptions {
+  /// Body atoms drawn over this schema.
+  Schema schema{{"E", 2}, {"P", 1}};
+
+  int min_atoms = 1;
+  int max_atoms = 4;
+
+  /// Variables drawn from a pool of this size (reuse creates joins).
+  int variable_pool = 4;
+
+  /// Head arity (head variables are picked from the body, keeping the
+  /// query safe).
+  int head_arity = 1;
+};
+
+/// A random safe pure CQ, deterministic in `rng`.
+ConjunctiveQuery RandomCq(Rng& rng, const RandomCqOptions& options,
+                          const std::string& head_name = "Q");
+
+/// A random CQ view set over `options.schema`: `count` views, each a
+/// RandomCq with head arity 1–2.
+ViewSet RandomCqViews(Rng& rng, const RandomCqOptions& options, int count);
+
+/// A random CQ over the *output schema* of `views` (a candidate rewriting),
+/// safe, with the given head arity.
+ConjunctiveQuery RandomRewriting(Rng& rng, const ViewSet& views,
+                                 int max_atoms, int head_arity,
+                                 const std::string& head_name = "Q");
+
+}  // namespace vqdr
+
+#endif  // VQDR_GEN_RANDOM_QUERY_H_

@@ -1,0 +1,72 @@
+#include "gen/workloads.h"
+
+#include "base/check.h"
+#include "base/rng.h"
+
+namespace vqdr {
+
+ConjunctiveQuery ChainQuery(int length, const std::string& edge,
+                            const std::string& head) {
+  VQDR_CHECK_GE(length, 1);
+  auto var = [](int i) { return Term::Var("x" + std::to_string(i)); };
+  ConjunctiveQuery q(head, {var(0), var(length)});
+  for (int i = 0; i < length; ++i) {
+    q.AddAtom(Atom(edge, {var(i), var(i + 1)}));
+  }
+  return q;
+}
+
+ConjunctiveQuery StarQuery(int arms, const std::string& edge,
+                           const std::string& head) {
+  VQDR_CHECK_GE(arms, 1);
+  ConjunctiveQuery q(head, {Term::Var("c")});
+  for (int i = 1; i <= arms; ++i) {
+    q.AddAtom(Atom(edge, {Term::Var("c"), Term::Var("x" + std::to_string(i))}));
+  }
+  return q;
+}
+
+ConjunctiveQuery CycleQuery(int length, const std::string& edge,
+                            const std::string& head) {
+  VQDR_CHECK_GE(length, 1);
+  auto var = [](int i) { return Term::Var("x" + std::to_string(i)); };
+  ConjunctiveQuery q(head, {});
+  for (int i = 0; i < length; ++i) {
+    q.AddAtom(Atom(edge, {var(i), var((i + 1) % length)}));
+  }
+  return q;
+}
+
+ViewSet PathViews(int max_length, const std::string& edge) {
+  VQDR_CHECK_GE(max_length, 1);
+  ViewSet views;
+  for (int len = 1; len <= max_length; ++len) {
+    views.Add("P" + std::to_string(len),
+              Query::FromCq(ChainQuery(len, edge, "P" + std::to_string(len))));
+  }
+  return views;
+}
+
+Instance PathInstance(int nodes, const std::string& edge) {
+  VQDR_CHECK_GE(nodes, 1);
+  Instance d(Schema{{edge, 2}});
+  for (int i = 1; i < nodes; ++i) {
+    d.AddFact(edge, Tuple{Value(i), Value(i + 1)});
+  }
+  return d;
+}
+
+Instance RandomGraph(int nodes, int edges, std::uint64_t seed,
+                     const std::string& edge) {
+  VQDR_CHECK_GE(nodes, 1);
+  Rng rng(seed);
+  Instance d(Schema{{edge, 2}});
+  for (int i = 0; i < edges; ++i) {
+    Value a(1 + static_cast<std::int64_t>(rng.Below(nodes)));
+    Value b(1 + static_cast<std::int64_t>(rng.Below(nodes)));
+    d.AddFact(edge, Tuple{a, b});
+  }
+  return d;
+}
+
+}  // namespace vqdr

@@ -1,0 +1,41 @@
+#ifndef VQDR_GEN_WORKLOADS_H_
+#define VQDR_GEN_WORKLOADS_H_
+
+#include <string>
+
+#include "cq/conjunctive_query.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// Query/view workload generators for the benchmark harness. They produce
+/// the parametric families used by EXPERIMENTS.md: chain (path) queries,
+/// star queries, and path-view sets over a binary edge relation.
+
+/// Q(x0, xk) :- E(x0,x1), …, E(x{k-1},xk)  — a length-k chain query.
+ConjunctiveQuery ChainQuery(int length, const std::string& edge = "E",
+                            const std::string& head = "Q");
+
+/// Q(c) :- E(c,x1), …, E(c,xk)             — a k-armed star (equivalent to
+/// one atom; exercises minimisation).
+ConjunctiveQuery StarQuery(int arms, const std::string& edge = "E",
+                           const std::string& head = "Q");
+
+/// Boolean k-cycle query: Q() :- E(x1,x2), …, E(xk,x1).
+ConjunctiveQuery CycleQuery(int length, const std::string& edge = "E",
+                            const std::string& head = "Q");
+
+/// View set {P1, …, Pm} where Pi(x, y) holds iff there is an E-path of
+/// length i from x to y. PathViews(2) = {P1 = E, P2 = E∘E}.
+ViewSet PathViews(int max_length, const std::string& edge = "E");
+
+/// A directed path instance 1 -> 2 -> … -> n over the edge relation.
+Instance PathInstance(int nodes, const std::string& edge = "E");
+
+/// A random directed graph with `nodes` nodes and `edges` edge draws.
+Instance RandomGraph(int nodes, int edges, std::uint64_t seed,
+                     const std::string& edge = "E");
+
+}  // namespace vqdr
+
+#endif  // VQDR_GEN_WORKLOADS_H_

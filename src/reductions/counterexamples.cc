@@ -1,0 +1,69 @@
+#include "reductions/counterexamples.h"
+
+#include "base/check.h"
+#include "cq/parser.h"
+
+namespace vqdr {
+
+namespace {
+
+ConjunctiveQuery MustCq(const std::string& text, NamePool& pool) {
+  StatusOr<ConjunctiveQuery> q = ParseCq(text, pool);
+  VQDR_CHECK(q.ok()) << q.status().message();
+  return std::move(q).value();
+}
+
+UnionQuery MustUcq(const std::string& text, NamePool& pool) {
+  StatusOr<UnionQuery> q = ParseUcq(text, pool);
+  VQDR_CHECK(q.ok()) << q.status().message();
+  return std::move(q).value();
+}
+
+Instance MustInstance(const std::string& text, const Schema& schema,
+                      NamePool& pool) {
+  StatusOr<Instance> d = ParseInstance(text, schema, pool);
+  VQDR_CHECK(d.ok()) << d.status().message();
+  return std::move(d).value();
+}
+
+}  // namespace
+
+NonMonotonicityFamily Prop58Family(NamePool& pool) {
+  NonMonotonicityFamily family;
+  family.base = Schema{{"P", 1}, {"R", 1}};
+
+  family.views.Add("V1", Query::FromCq(MustCq("V1(x) :- P(x), R(y)", pool)));
+  family.views.Add(
+      "V2", Query::FromUcq(MustUcq("V2(x) :- P(x) | V2(x) :- R(x)", pool)));
+  family.views.Add("V3", Query::FromCq(MustCq("V3(x) :- R(x)", pool)));
+  family.query = Query::FromCq(MustCq("Q(x) :- P(x)", pool));
+
+  family.witness.d1 = MustInstance("P(a), P(b)", family.base, pool);
+  family.witness.d2 = MustInstance("P(a), R(b)", family.base, pool);
+  family.witness.view_image1 = family.views.Apply(family.witness.d1);
+  family.witness.view_image2 = family.views.Apply(family.witness.d2);
+  return family;
+}
+
+NonMonotonicityFamily Prop512Family(NamePool& pool) {
+  NonMonotonicityFamily family;
+  family.base = Schema{{"R", 2}};
+
+  family.views.Add(
+      "V1", Query::FromCq(MustCq("V1(x) :- R(x, y), R(y, x)", pool)));
+  family.views.Add(
+      "V2",
+      Query::FromCq(MustCq("V2(x) :- R(x, y), R(y, x), x != y", pool)));
+  family.views.Add(
+      "V3", Query::FromCq(MustCq(
+                "V3(x) :- R(x, x), R(x, y), R(y, x), x != y", pool)));
+  family.query = Query::FromCq(MustCq("Q(x) :- R(x, x)", pool));
+
+  family.witness.d1 = MustInstance("R(a, a)", family.base, pool);
+  family.witness.d2 = MustInstance("R(a, b), R(b, a)", family.base, pool);
+  family.witness.view_image1 = family.views.Apply(family.witness.d1);
+  family.witness.view_image2 = family.views.Apply(family.witness.d2);
+  return family;
+}
+
+}  // namespace vqdr

@@ -1,0 +1,36 @@
+#ifndef VQDR_REDUCTIONS_COUNTEREXAMPLES_H_
+#define VQDR_REDUCTIONS_COUNTEREXAMPLES_H_
+
+#include "core/finite_search.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// The paper's two explicit non-monotonicity families, packaged with their
+/// witness pairs: Proposition 5.8 (UCQ views, unary everything) and
+/// Proposition 5.12 (CQ≠ views). They show that no monotonic language —
+/// in particular UCQ, CQ, Datalog≠ — is complete for the corresponding
+/// rewritings.
+
+struct NonMonotonicityFamily {
+  Schema base;
+  ViewSet views;
+  Query query = Query::FromCq(ConjunctiveQuery("Q", {}));
+  /// A witness pair: view images satisfy V(d1) ⊆ V(d2) while
+  /// Q(d1) ⊄ Q(d2).
+  MonotonicityViolation witness;
+};
+
+/// Proposition 5.8: σ = {R/1, P/1}; V1(x) = P(x) ∧ ∃y R(y),
+/// V2(x) = P(x) ∨ R(x), V3(x) = R(x); Q(x) = P(x). V determines Q, yet
+/// Q_V is non-monotonic: D1 = ⟨P={a,b}, R=∅⟩, D2 = ⟨P={a}, R={b}⟩.
+NonMonotonicityFamily Prop58Family(NamePool& pool);
+
+/// Proposition 5.12: σ = {R/2}; V1(x) = ∃y R(x,y)∧R(y,x),
+/// V2(x) = ∃y R(x,y)∧R(y,x)∧x≠y, V3(x) = ∃y R(x,x)∧R(x,y)∧R(y,x)∧x≠y;
+/// Q(x) = R(x,x). Witness: D = {(a,a)}, D' = {(a,b),(b,a)}.
+NonMonotonicityFamily Prop512Family(NamePool& pool);
+
+}  // namespace vqdr
+
+#endif  // VQDR_REDUCTIONS_COUNTEREXAMPLES_H_

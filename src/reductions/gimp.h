@@ -1,0 +1,93 @@
+#ifndef VQDR_REDUCTIONS_GIMP_H_
+#define VQDR_REDUCTIONS_GIMP_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "fo/formula.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// The Theorem 5.4 construction: from an implicit FO definition of a query
+/// q (GIMP, Lindell/Grumbach–Lacroix–Lindell) to UCQ views V and an FO
+/// query Q with V ↠ Q and Q_V ≡ q. This is the paper's lower bound showing
+/// every language complete for UCQ-to-FO rewritings expresses all of
+/// ∃SO ∩ ∀SO.
+///
+/// Input: an FO sentence φ(T, S̄) over τ' = τ ∪ {T, S̄} (normalized to the
+/// {∧, ¬, ∃} fragment) such that (i) every D over τ admits T, S̄ with
+/// φ(q(D), S̄), and (ii) φ(T, S̄) forces T = q(D).
+///
+/// Per subformula θ of φ the construction adds auxiliary relations
+/// (R_θ for composite θ, and a complement relation for every θ) plus UCQ
+/// views whose answers are ∅ / adom^k exactly when the auxiliary relations
+/// have the intended contents. The views reveal *only* D(τ), those
+/// emptiness/fullness patterns, and the root bit R_φ — never T or S̄.
+class GimpConstruction {
+ public:
+  /// Builds the construction. φ must be a sentence over
+  /// τ ∪ {t_decl} ∪ s_decls after normalization; equality atoms are not
+  /// supported inside φ.
+  static StatusOr<GimpConstruction> Build(FoPtr phi, Schema tau,
+                                          RelationDecl t_decl,
+                                          std::vector<RelationDecl> s_decls);
+
+  const Schema& tau() const { return tau_; }
+  /// τ' = τ ∪ {T, S̄}.
+  const Schema& tau_prime() const { return tau_prime_; }
+  /// τ'' = τ' plus the auxiliary relations.
+  const Schema& full_schema() const { return full_schema_; }
+  const ViewSet& views() const { return views_; }
+
+  /// Q = ψ ∧ φ(T, S̄) ∧ T(x̄) as an FO query over τ''.
+  const Query& query() const { return query_; }
+
+  /// ψ: the FO sentence asserting every auxiliary relation has its intended
+  /// content.
+  const FoPtr& psi() const { return psi_; }
+
+  const std::string& t_name() const { return t_name_; }
+
+  /// Extends an instance over τ' (base + T + S̄) to τ'' by materializing
+  /// every auxiliary relation with its intended content, making ψ true.
+  Instance CompleteInstance(const Instance& d_tau_prime) const;
+
+  /// Builders need a default-constructed shell; prefer Build().
+  GimpConstruction() = default;
+
+ private:
+  struct Node {
+    FoPtr formula;
+    std::vector<std::string> vars;  // free variables, canonical order
+    // pos atom: how to assert θ(x̄) positively (base atom or R_θ atom).
+    Atom pos;
+    // neg atom: the materialized complement relation (or pos of the child
+    // for ¬-nodes).
+    Atom neg;
+    bool has_own_symbol = false;  // composite nodes introduce R_θ
+  };
+
+  std::vector<Node> nodes_;
+  Schema tau_, tau_prime_, full_schema_;
+  ViewSet views_;
+  Query query_{Query::FromCq(ConjunctiveQuery("Q", {}))};
+  FoPtr psi_;
+  FoPtr phi_;
+  std::string t_name_;
+};
+
+/// A worked GIMP instance: EVEN cardinality of the unary relation U —
+/// a query in NP ∩ co-NP (indeed PTIME) that is *not* FO-definable, made
+/// implicitly definable with an order S̄ = {Ord} and parity marker {Alt}.
+struct ParityGimp {
+  GimpConstruction construction;
+  /// q itself, for cross-checking: |U| even?
+  static bool Even(const Instance& d_tau);
+};
+StatusOr<ParityGimp> BuildParityGimp();
+
+}  // namespace vqdr
+
+#endif  // VQDR_REDUCTIONS_GIMP_H_

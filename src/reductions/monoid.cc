@@ -1,0 +1,342 @@
+#include "reductions/monoid.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "base/check.h"
+
+namespace vqdr {
+
+namespace {
+
+Term V(const std::string& name) { return Term::Var(name); }
+
+Atom RAtom(const std::string& a, const std::string& b, const std::string& c) {
+  return Atom("R", {V(a), V(b), V(c)});
+}
+
+Atom P1() { return Atom("p1", {}); }
+Atom P2() { return Atom("p2", {}); }
+
+// Atom placing variable `v` at position `pos` of R, with fresh padding.
+Atom AdomAtom(const std::string& v, int pos, const std::string& pad) {
+  std::vector<Term> args = {V(pad + "1"), V(pad + "2"), V(pad + "3")};
+  args[pos] = V(v);
+  return Atom("R", std::move(args));
+}
+
+// The (p1 ∧ S) ∨ (p2 ∧ T) view for one equation S = T, where S and T are
+// given as lists of disjunct bodies (each a list of atoms) over the shared
+// head variables.
+UnionQuery EquationView(const std::string& name,
+                        const std::vector<std::string>& head_vars,
+                        const std::vector<std::vector<Atom>>& s_bodies,
+                        const std::vector<std::vector<Atom>>& t_bodies) {
+  std::vector<Term> head;
+  head.reserve(head_vars.size());
+  for (const std::string& v : head_vars) head.push_back(V(v));
+
+  UnionQuery view;
+  for (const std::vector<Atom>& body : s_bodies) {
+    ConjunctiveQuery d(name, head);
+    d.AddAtom(P1());
+    for (const Atom& a : body) d.AddAtom(a);
+    view.AddDisjunct(std::move(d));
+  }
+  for (const std::vector<Atom>& body : t_bodies) {
+    ConjunctiveQuery d(name, head);
+    d.AddAtom(P2());
+    for (const Atom& a : body) d.AddAtom(a);
+    view.AddDisjunct(std::move(d));
+  }
+  return view;
+}
+
+// T-side bodies for "the diagonal {(z,z) | z ∈ adom(R)}": three bodies, one
+// per R position, with the head's second variable equated to the first via
+// repetition. The caller's head must be (z, z2); these bodies force z2 = z
+// by *reusing z* — we express that by returning bodies over heads (z, z)
+// instead, so the helper below builds separate disjuncts.
+UnionQuery DiagonalEquationView(const std::string& name,
+                                const std::vector<std::vector<Atom>>& s_bodies) {
+  UnionQuery view;
+  // S side: heads (z, zp).
+  for (const std::vector<Atom>& body : s_bodies) {
+    ConjunctiveQuery d(name, {V("z"), V("zp")});
+    d.AddAtom(P1());
+    for (const Atom& a : body) d.AddAtom(a);
+    view.AddDisjunct(std::move(d));
+  }
+  // T side: heads (z, z), one disjunct per adom position.
+  for (int pos = 0; pos < 3; ++pos) {
+    ConjunctiveQuery d(name, {V("z"), V("z")});
+    d.AddAtom(P2());
+    d.AddAtom(AdomAtom("z", pos, "w"));
+    view.AddDisjunct(std::move(d));
+  }
+  return view;
+}
+
+}  // namespace
+
+Schema MonoidSchema() { return Schema{{"R", 3}, {"p1", 0}, {"p2", 0}}; }
+
+ViewSet MonoidViews(bool use_equality) {
+  ViewSet views;
+
+  // V1: R itself.
+  {
+    ConjunctiveQuery v1("V1", {V("x"), V("y"), V("z")});
+    v1.AddAtom(RAtom("x", "y", "z"));
+    views.Add("V1", Query::FromCq(v1));
+  }
+  // V2: p1 ∨ p2.
+  {
+    ConjunctiveQuery a("V2", {});
+    a.AddAtom(P1());
+    ConjunctiveQuery b("V2", {});
+    b.AddAtom(P2());
+    UnionQuery v2;
+    v2.AddDisjunct(a);
+    v2.AddDisjunct(b);
+    views.Add("V2", Query::FromUcq(v2));
+  }
+  // V3: p1 ∧ p2.
+  {
+    ConjunctiveQuery v3("V3", {});
+    v3.AddAtom(P1());
+    v3.AddAtom(P2());
+    views.Add("V3", Query::FromCq(v3));
+  }
+
+  // (i) The three projections of R coincide: two equations.
+  views.Add("Vproj12",
+            Query::FromUcq(EquationView(
+                "Vproj12", {"w"},
+                {{AdomAtom("w", 0, "a")}},     // S: w in position 1
+                {{AdomAtom("w", 1, "b")}})));  // T: w in position 2
+  views.Add("Vproj23",
+            Query::FromUcq(EquationView("Vproj23", {"w"},
+                                        {{AdomAtom("w", 1, "a")}},
+                                        {{AdomAtom("w", 2, "b")}})));
+
+  if (use_equality) {
+    // (ii) Functionality: {(z,z') | ∃x,y R(x,y,z) ∧ R(x,y,z')} = diagonal.
+    views.Add("Vfunc",
+              Query::FromUcq(DiagonalEquationView(
+                  "Vfunc", {{RAtom("x", "y", "z"), RAtom("x", "y", "zp")}})));
+  } else {
+    // Pseudo-monoidal congruence equations replacing (ii): for each
+    // position p of R, the two sides differ by using z vs z' at p.
+    struct Side {
+      int pos;
+    };
+    for (int pos = 0; pos < 3; ++pos) {
+      auto body_with = [pos](const std::string& zvar) {
+        std::vector<Term> args = {V("u"), V("v"), V("")};
+        // Position layout per the paper: R(z,u,v), R(u,z,v), R(u,v,z).
+        std::vector<Term> rargs;
+        if (pos == 0) {
+          rargs = {V(zvar), V("u"), V("v")};
+        } else if (pos == 1) {
+          rargs = {V("u"), V(zvar), V("v")};
+        } else {
+          rargs = {V("u"), V("v"), V(zvar)};
+        }
+        return std::vector<Atom>{RAtom("x", "y", "z"), RAtom("x", "y", "zp"),
+                                 Atom("R", rargs)};
+      };
+      std::string name = "Vcong" + std::to_string(pos + 1);
+      views.Add(name, Query::FromUcq(EquationView(name, {"u", "v", "z", "zp"},
+                                                  {body_with("z")},
+                                                  {body_with("zp")})));
+    }
+  }
+
+  // (iii) Associativity: S(w,w') = ∃x,y,z,u,v R(x,y,u) ∧ R(u,z,w) ∧
+  // R(y,z,v) ∧ R(x,v,w'), compared against the diagonal (equality
+  // version) or against ≈ (equality-free version).
+  std::vector<Atom> assoc_body = {RAtom("x", "y", "u"), RAtom("u", "z", "w"),
+                                  RAtom("y", "z", "v"), RAtom("x", "v", "wp")};
+  if (use_equality) {
+    UnionQuery vassoc;
+    {
+      ConjunctiveQuery d("Vassoc", {V("w"), V("wp")});
+      d.AddAtom(P1());
+      for (const Atom& a : assoc_body) d.AddAtom(a);
+      vassoc.AddDisjunct(std::move(d));
+    }
+    for (int pos = 0; pos < 3; ++pos) {
+      ConjunctiveQuery d("Vassoc", {V("w"), V("w")});
+      d.AddAtom(P2());
+      d.AddAtom(AdomAtom("w", pos, "q"));
+      vassoc.AddDisjunct(std::move(d));
+    }
+    views.Add("Vassoc", Query::FromUcq(vassoc));
+  } else {
+    // T: {(w,w') | ∃u,v R(u,v,w) ∧ R(u,v,w')}.
+    views.Add("Vassoc",
+              Query::FromUcq(EquationView(
+                  "Vassoc", {"w", "wp"}, {assoc_body},
+                  {{RAtom("c1", "c2", "w"), RAtom("c1", "c2", "wp")}})));
+  }
+  return views;
+}
+
+UnionQuery MonoidQuery(const WordProblem& problem, bool use_equality) {
+  // Symbols of F must occur in H (safety of ψ).
+  std::set<std::string> h_symbols;
+  for (const MonoidEquation& eq : problem.hypotheses) {
+    h_symbols.insert(eq.x);
+    h_symbols.insert(eq.y);
+    h_symbols.insert(eq.z);
+  }
+  VQDR_CHECK(h_symbols.count(problem.lhs) > 0 &&
+             h_symbols.count(problem.rhs) > 0)
+      << "F's symbols must occur in H";
+
+  auto sym_var = [](const std::string& s) { return "s_" + s; };
+  auto psi_atoms = [&]() {
+    std::vector<Atom> atoms;
+    for (const MonoidEquation& eq : problem.hypotheses) {
+      atoms.push_back(RAtom(sym_var(eq.x), sym_var(eq.y), sym_var(eq.z)));
+    }
+    return atoms;
+  };
+  std::string xv = sym_var(problem.lhs);
+  std::string yv = sym_var(problem.rhs);
+
+  UnionQuery q;
+  // (p1 ∧ p2) branch: answer adom(R)²; 9 safe disjuncts over positions.
+  for (int px = 0; px < 3; ++px) {
+    for (int py = 0; py < 3; ++py) {
+      ConjunctiveQuery d("Q", {V("qx"), V("qy")});
+      d.AddAtom(P1());
+      d.AddAtom(P2());
+      d.AddAtom(AdomAtom("qx", px, "m"));
+      d.AddAtom(AdomAtom("qy", py, "n"));
+      q.AddDisjunct(std::move(d));
+    }
+  }
+  // (p1 ∧ ψ ∧ x = y) branch.
+  {
+    ConjunctiveQuery d("Q", {V(xv), V(yv)});
+    d.AddAtom(P1());
+    for (const Atom& a : psi_atoms()) d.AddAtom(a);
+    if (use_equality) {
+      d.AddEquality(V(xv), V(yv));
+    } else {
+      d.AddAtom(RAtom("e1", "e2", xv));
+      d.AddAtom(RAtom("e1", "e2", yv));
+    }
+    q.AddDisjunct(std::move(d));
+  }
+  // (p2 ∧ ψ) branch.
+  {
+    ConjunctiveQuery d("Q", {V(xv), V(yv)});
+    d.AddAtom(P2());
+    for (const Atom& a : psi_atoms()) d.AddAtom(a);
+    q.AddDisjunct(std::move(d));
+  }
+  return q;
+}
+
+MonoidalSearchResult SearchMonoidalCounterexample(const WordProblem& problem,
+                                                  int max_size) {
+  MonoidalSearchResult result;
+
+  std::vector<std::string> symbols;
+  {
+    std::set<std::string> seen;
+    for (const MonoidEquation& eq : problem.hypotheses) {
+      for (const std::string* s : {&eq.x, &eq.y, &eq.z}) {
+        if (seen.insert(*s).second) symbols.push_back(*s);
+      }
+    }
+  }
+
+  for (int n = 1; n <= max_size; ++n) {
+    std::vector<int> table(n * n, 0);
+    std::function<bool(int)> fill = [&](int cell) -> bool {
+      if (cell == n * n) {
+        ++result.functions_examined;
+        // Onto?
+        std::vector<bool> hit(n, false);
+        for (int v : table) hit[v] = true;
+        for (bool h : hit) {
+          if (!h) return false;
+        }
+        // Associative?
+        for (int a = 0; a < n; ++a) {
+          for (int b = 0; b < n; ++b) {
+            for (int c = 0; c < n; ++c) {
+              if (table[table[a * n + b] * n + c] !=
+                  table[a * n + table[b * n + c]]) {
+                return false;
+              }
+            }
+          }
+        }
+        ++result.monoidal_functions;
+        // Assignments of H's symbols.
+        std::map<std::string, int> assign;
+        std::function<bool(std::size_t)> try_assign =
+            [&](std::size_t i) -> bool {
+          if (i == symbols.size()) {
+            for (const MonoidEquation& eq : problem.hypotheses) {
+              if (table[assign[eq.x] * n + assign[eq.y]] != assign[eq.z]) {
+                return false;
+              }
+            }
+            return assign[problem.lhs] != assign[problem.rhs];
+          }
+          for (int v = 0; v < n; ++v) {
+            assign[symbols[i]] = v;
+            if (try_assign(i + 1)) return true;
+          }
+          return false;
+        };
+        if (try_assign(0)) {
+          MonoidalCounterexample ce;
+          ce.size = n;
+          ce.table = table;
+          for (const std::string& s : symbols) {
+            ce.assignment.emplace_back(s, assign[s]);
+          }
+          result.counterexample = std::move(ce);
+          result.implies_up_to_bound = false;
+          return true;  // stop
+        }
+        return false;
+      }
+      for (int v = 0; v < n; ++v) {
+        table[cell] = v;
+        if (fill(cell + 1)) return true;
+      }
+      return false;
+    };
+    if (fill(0)) return result;
+  }
+  return result;
+}
+
+DeterminacyCounterexample MonoidCounterexampleToInstances(
+    const MonoidalCounterexample& ce) {
+  Instance graph(MonoidSchema());
+  int n = ce.size;
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      graph.AddFact("R", Tuple{Value(a + 1), Value(b + 1),
+                               Value(ce.table[a * n + b] + 1)});
+    }
+  }
+  DeterminacyCounterexample pair;
+  pair.d1 = graph;
+  pair.d1.GetMutable("p1").SetBool(true);
+  pair.d2 = graph;
+  pair.d2.GetMutable("p2").SetBool(true);
+  return pair;
+}
+
+}  // namespace vqdr

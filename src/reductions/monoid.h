@@ -1,0 +1,77 @@
+#ifndef VQDR_REDUCTIONS_MONOID_H_
+#define VQDR_REDUCTIONS_MONOID_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/finite_search.h"
+#include "cq/ucq.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// The Theorem 4.5 reduction: from the word problem for finite monoids
+/// (undecidable, Gurevich [19]) to UCQ determinacy. The database schema is
+/// σ = {R/3, p1/0, p2/0}, with R(x,y,z) encoding x·y = z; the *fixed* view
+/// set checks that R is (pseudo-)monoidal via the (p1∧S)∨(p2∧T) trick, and
+/// the query Q_{H,F} encodes "H implies F". Then V ↠ Q_{H,F} iff H implies
+/// F over all finite monoidal functions.
+
+/// An equation x·y = z over symbol names.
+struct MonoidEquation {
+  std::string x, y, z;
+};
+
+/// A word-problem instance: does H imply F (= lhs = rhs) over all finite
+/// monoids?
+struct WordProblem {
+  std::vector<MonoidEquation> hypotheses;
+  std::string lhs, rhs;
+};
+
+/// The paper's fixed schema for the reduction.
+Schema MonoidSchema();
+
+/// The fixed view set V. With `use_equality` the views are UCQ= exactly as
+/// in the first construction; without it, equalities are replaced via the
+/// pseudo-monoidal trick (x ≈ y iff ∃u,v R(u,v,x) ∧ R(u,v,y)) and the
+/// function check is replaced by the three congruence equations.
+ViewSet MonoidViews(bool use_equality);
+
+/// The query Q_{H,F}. Symbols of F must occur in H. The paper's disjunct
+/// (p1 ∧ p2) — whose answer is adom(R)² — is expanded into the 9 safe
+/// disjuncts over R's argument positions.
+UnionQuery MonoidQuery(const WordProblem& problem, bool use_equality);
+
+/// A monoidal function counterexample found by bounded search: a complete,
+/// onto, associative f: X² → X with an H-satisfying assignment violating F.
+struct MonoidalCounterexample {
+  int size = 0;
+  /// table[a*size + b] = f(a, b), elements 0..size-1.
+  std::vector<int> table;
+  /// assignment of H's symbols to elements.
+  std::vector<std::pair<std::string, int>> assignment;
+};
+
+/// Bounded semi-decision of "H implies F over finite monoidal functions":
+/// exhaustively enumerates monoidal functions up to `max_size` elements
+/// (|X|^(|X|²) tables, so max_size ≤ 3 in practice).
+struct MonoidalSearchResult {
+  bool implies_up_to_bound = true;
+  std::optional<MonoidalCounterexample> counterexample;
+  std::uint64_t functions_examined = 0;
+  std::uint64_t monoidal_functions = 0;
+};
+MonoidalSearchResult SearchMonoidalCounterexample(const WordProblem& problem,
+                                                  int max_size);
+
+/// Converts a monoidal counterexample into the paper's determinacy
+/// counterexample pair: D1 = graph(f) + p1, D2 = graph(f) + p2, which have
+/// equal view images but different Q_{H,F} answers.
+DeterminacyCounterexample MonoidCounterexampleToInstances(
+    const MonoidalCounterexample& ce);
+
+}  // namespace vqdr
+
+#endif  // VQDR_REDUCTIONS_MONOID_H_

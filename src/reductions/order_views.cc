@@ -1,0 +1,268 @@
+#include "reductions/order_views.h"
+
+#include <functional>
+
+#include "base/check.h"
+
+namespace vqdr {
+
+namespace {
+
+std::vector<Term> FreshVars(int n, const std::string& prefix) {
+  std::vector<Term> vars;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(Term::Var(prefix + std::to_string(i)));
+  }
+  return vars;
+}
+
+// Anchors: every (relation, position) pair of σ, used to assert
+// σ-membership of a variable inside UCQ¬ views.
+struct Anchor {
+  std::string relation;
+  int arity;
+  int position;
+};
+
+std::vector<Anchor> SigmaAnchors(const Schema& sigma) {
+  std::vector<Anchor> anchors;
+  for (const RelationDecl& d : sigma.decls()) {
+    for (int i = 0; i < d.arity; ++i) {
+      anchors.push_back(Anchor{d.name, d.arity, i});
+    }
+  }
+  return anchors;
+}
+
+// An atom R(f0, …, var@pos, …) placing `var` at the anchor's position with
+// fresh padding variables prefixed `pad`.
+Atom AnchorAtom(const Anchor& anchor, const std::string& var,
+                const std::string& pad) {
+  std::vector<Term> args;
+  for (int i = 0; i < anchor.arity; ++i) {
+    args.push_back(i == anchor.position
+                       ? Term::Var(var)
+                       : Term::Var(pad + std::to_string(i)));
+  }
+  return Atom(anchor.relation, std::move(args));
+}
+
+// Expands `base` (a CQ¬ with unanchored variables `vars`) into the UCQ of
+// all σ-anchorings of those variables.
+UnionQuery AnchorAll(const ConjunctiveQuery& base,
+                     const std::vector<std::string>& vars,
+                     const Schema& sigma) {
+  std::vector<Anchor> anchors = SigmaAnchors(sigma);
+  VQDR_CHECK(!anchors.empty()) << "schema has no positions to anchor to";
+  UnionQuery result;
+  std::vector<int> choice(vars.size(), 0);
+  std::function<void(std::size_t)> rec = [&](std::size_t i) {
+    if (i == vars.size()) {
+      ConjunctiveQuery disjunct = base;
+      for (std::size_t j = 0; j < vars.size(); ++j) {
+        disjunct.AddAtom(AnchorAtom(anchors[choice[j]], vars[j],
+                                    "p" + std::to_string(j) + "_"));
+      }
+      result.AddDisjunct(std::move(disjunct));
+      return;
+    }
+    for (std::size_t a = 0; a < anchors.size(); ++a) {
+      choice[i] = static_cast<int>(a);
+      rec(i + 1);
+    }
+  };
+  rec(0);
+  return result;
+}
+
+}  // namespace
+
+FoPtr InSigmaFormula(const Schema& sigma, const std::string& var) {
+  std::vector<FoPtr> disjuncts;
+  for (const Anchor& anchor : SigmaAnchors(sigma)) {
+    std::vector<std::string> quantified;
+    std::vector<Term> args;
+    for (int i = 0; i < anchor.arity; ++i) {
+      if (i == anchor.position) {
+        args.push_back(Term::Var(var));
+      } else {
+        std::string padded = var + "_pad" + std::to_string(i);
+        quantified.push_back(padded);
+        args.push_back(Term::Var(padded));
+      }
+    }
+    disjuncts.push_back(FoFormula::Exists(
+        quantified, FoFormula::MakeAtom(Atom(anchor.relation, args))));
+  }
+  return FoFormula::Or(std::move(disjuncts));
+}
+
+FoPtr RelativizeToSigma(const FoPtr& formula, const Schema& sigma) {
+  using F = FoFormula;
+  using Kind = FoFormula::Kind;
+  switch (formula->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kAtom:
+    case Kind::kEquals:
+      return formula;
+    case Kind::kNot:
+      return F::Not(RelativizeToSigma(formula->children()[0], sigma));
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<FoPtr> kids;
+      for (const FoPtr& c : formula->children()) {
+        kids.push_back(RelativizeToSigma(c, sigma));
+      }
+      return formula->kind() == Kind::kAnd ? F::And(std::move(kids))
+                                           : F::Or(std::move(kids));
+    }
+    case Kind::kImplies:
+      return F::Implies(RelativizeToSigma(formula->children()[0], sigma),
+                        RelativizeToSigma(formula->children()[1], sigma));
+    case Kind::kIff:
+      return F::Iff(RelativizeToSigma(formula->children()[0], sigma),
+                    RelativizeToSigma(formula->children()[1], sigma));
+    case Kind::kExists:
+    case Kind::kForall: {
+      FoPtr body = RelativizeToSigma(formula->children()[0], sigma);
+      std::vector<FoPtr> guards;
+      for (const std::string& v : formula->quantified_vars()) {
+        guards.push_back(InSigmaFormula(sigma, v));
+      }
+      if (formula->kind() == Kind::kExists) {
+        guards.push_back(body);
+        return F::Exists(formula->quantified_vars(),
+                         F::And(std::move(guards)));
+      }
+      return F::Forall(formula->quantified_vars(),
+                       F::Implies(F::And(std::move(guards)), body));
+    }
+  }
+  VQDR_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+FoPtr StrictTotalOrderOnSigma(const Schema& sigma,
+                              const std::string& order_rel) {
+  using F = FoFormula;
+  auto lt = [&order_rel](const std::string& a, const std::string& b) {
+    return F::MakeAtom(Atom(order_rel, {Term::Var(a), Term::Var(b)}));
+  };
+  FoPtr irreflexive = F::Forall({"x"}, F::Not(lt("x", "x")));
+  FoPtr transitive =
+      F::Forall({"x", "y", "z"},
+                F::Implies(F::And({lt("x", "y"), lt("y", "z")}), lt("x", "z")));
+  FoPtr total = F::Forall(
+      {"x", "y"}, F::Implies(F::Not(F::Eq(Term::Var("x"), Term::Var("y"))),
+                             F::Or({lt("x", "y"), lt("y", "x")})));
+  return RelativizeToSigma(F::And({irreflexive, transitive, total}), sigma);
+}
+
+ViewSet Example32Views(const Schema& sigma, const std::string& order_rel) {
+  ViewSet views;
+  // Identity views on σ.
+  for (const RelationDecl& d : sigma.decls()) {
+    std::vector<Term> head = FreshVars(d.arity, "x");
+    ConjunctiveQuery v("V_" + d.name, head);
+    v.AddAtom(Atom(d.name, head));
+    views.Add("V_" + d.name, Query::FromCq(v));
+  }
+  // R_ψ: the Boolean FO view "< is a strict total order on adom(σ)".
+  FoQuery psi;
+  psi.head_name = "Rpsi";
+  psi.formula = StrictTotalOrderOnSigma(sigma, order_rel);
+  views.Add("Rpsi", Query::FromFo(std::move(psi)));
+  return views;
+}
+
+Query OrderGuardedQuery(const FoQuery& phi, const Schema& sigma,
+                        const std::string& order_rel) {
+  FoQuery q;
+  q.head_name = "Q";
+  q.free_vars = phi.free_vars;
+  std::vector<FoPtr> parts{StrictTotalOrderOnSigma(sigma, order_rel)};
+  // Guard the free variables, then the relativized body.
+  for (const std::string& v : phi.free_vars) {
+    parts.push_back(InSigmaFormula(sigma, v));
+  }
+  parts.push_back(RelativizeToSigma(phi.formula, sigma));
+  q.formula = FoFormula::And(std::move(parts));
+  return Query::FromFo(std::move(q));
+}
+
+ViewSet Prop57Views(const Schema& sigma, const std::string& order_rel) {
+  ViewSet views;
+  auto lt = [&order_rel](const Term& a, const Term& b) {
+    return Atom(order_rel, {a, b});
+  };
+  Term x = Term::Var("x"), y = Term::Var("y"), z = Term::Var("z");
+
+  // (1) symmetry violations within adom(σ): x<y ∧ y<x (covers
+  // irreflexivity at x = y).
+  {
+    ConjunctiveQuery base("Vsym", {x, y});
+    base.AddAtom(lt(x, y));
+    base.AddAtom(lt(y, x));
+    views.Add("Vsym", Query::FromUcq(AnchorAll(base, {"x", "y"}, sigma)));
+  }
+  // (2) transitivity violations within adom(σ).
+  {
+    ConjunctiveQuery base("Vtrans", {x, y, z});
+    base.AddAtom(lt(x, y));
+    base.AddAtom(lt(y, z));
+    base.AddNegatedAtom(lt(x, z));
+    views.Add("Vtrans",
+              Query::FromUcq(AnchorAll(base, {"x", "y", "z"}, sigma)));
+  }
+  // (3) totality violations within one σ-relation: two positions of one
+  // tuple are distinct but incomparable. The paper writes these with two
+  // negated order atoms; the distinctness guard is a safe ≠.
+  for (const RelationDecl& d : sigma.decls()) {
+    for (int i = 0; i < d.arity; ++i) {
+      for (int j = i + 1; j < d.arity; ++j) {
+        std::vector<Term> args = FreshVars(d.arity, "a");
+        std::string name = "Vtot_" + d.name + "_" + std::to_string(i) + "_" +
+                           std::to_string(j);
+        ConjunctiveQuery v(name, args);
+        v.AddAtom(Atom(d.name, args));
+        v.AddNegatedAtom(lt(args[i], args[j]));
+        v.AddNegatedAtom(lt(args[j], args[i]));
+        v.AddDisequality(args[i], args[j]);
+        views.Add(name, Query::FromCq(v));
+      }
+    }
+  }
+  // (4) totality violations across two σ-relations (or two tuples of one).
+  for (const RelationDecl& d1 : sigma.decls()) {
+    for (const RelationDecl& d2 : sigma.decls()) {
+      for (int i = 0; i < d1.arity; ++i) {
+        for (int j = 0; j < d2.arity; ++j) {
+          std::vector<Term> args1 = FreshVars(d1.arity, "b");
+          std::vector<Term> args2 = FreshVars(d2.arity, "c");
+          std::string name = "Vtotx_" + d1.name + std::to_string(i) + "_" +
+                             d2.name + std::to_string(j);
+          std::vector<Term> head = args1;
+          head.insert(head.end(), args2.begin(), args2.end());
+          ConjunctiveQuery v(name, head);
+          v.AddAtom(Atom(d1.name, args1));
+          v.AddAtom(Atom(d2.name, args2));
+          v.AddNegatedAtom(lt(args1[i], args2[j]));
+          v.AddNegatedAtom(lt(args2[j], args1[i]));
+          v.AddDisequality(args1[i], args2[j]);
+          views.Add(name, Query::FromCq(v));
+        }
+      }
+    }
+  }
+  // (5) identity views on σ.
+  for (const RelationDecl& d : sigma.decls()) {
+    std::vector<Term> head = FreshVars(d.arity, "x");
+    ConjunctiveQuery v("V_" + d.name, head);
+    v.AddAtom(Atom(d.name, head));
+    views.Add("V_" + d.name, Query::FromCq(v));
+  }
+  return views;
+}
+
+}  // namespace vqdr

@@ -1,0 +1,52 @@
+#ifndef VQDR_REDUCTIONS_ORDER_VIEWS_H_
+#define VQDR_REDUCTIONS_ORDER_VIEWS_H_
+
+#include <string>
+
+#include "fo/formula.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// The order-invariance constructions of Example 3.2 and Proposition 5.7:
+/// views over σ ∪ {<} that determine an order-invariant query
+/// Q_φ = ψ ∧ φ(<) without exposing the order — the paper's witnesses that
+/// FO is not complete for finite rewritings.
+///
+/// Implementation note. The paper's sketch leaves implicit what happens to
+/// elements that occur *only* in the order relation: they are invisible to
+/// the views yet would influence ψ and φ. We therefore relativize the whole
+/// construction to the σ-active domain: ψ says "< restricted to adom(σ) is
+/// a strict total order on adom(σ)", and φ is relativized so its
+/// quantifiers range over adom(σ). On instances whose order lives exactly
+/// on adom(σ) — the intended ones — this coincides with the paper's
+/// statement, and determinacy holds on *all* instances.
+
+/// inσ(var): the FO formula "var occurs in some σ-relation".
+FoPtr InSigmaFormula(const Schema& sigma, const std::string& var);
+
+/// Relativizes quantifiers to inσ and guards the free variables.
+FoPtr RelativizeToSigma(const FoPtr& formula, const Schema& sigma);
+
+/// ψ̂: "< ∩ adom(σ)² is a strict total order on adom(σ)".
+FoPtr StrictTotalOrderOnSigma(const Schema& sigma,
+                              const std::string& order_rel);
+
+/// Example 3.2 views: identity on each σ-relation plus the Boolean FO view
+/// R_ψ = ψ̂.
+ViewSet Example32Views(const Schema& sigma, const std::string& order_rel);
+
+/// Q_φ = ψ̂ ∧ relativize(φ): the order-guarded query. For order-invariant
+/// φ, the views above (and Prop57Views below) determine Q_φ.
+Query OrderGuardedQuery(const FoQuery& phi, const Schema& sigma,
+                        const std::string& order_rel);
+
+/// Proposition 5.7: the same determinacy achieved with UCQ¬ views —
+/// views (1)–(4) are nonempty exactly when `<` fails to be a strict total
+/// order on adom(σ) (symmetry, transitivity, totality), each anchored to
+/// σ-membership, and views (5) expose σ.
+ViewSet Prop57Views(const Schema& sigma, const std::string& order_rel);
+
+}  // namespace vqdr
+
+#endif  // VQDR_REDUCTIONS_ORDER_VIEWS_H_

@@ -1,0 +1,45 @@
+#include "reductions/sat_reductions.h"
+
+#include "base/check.h"
+
+namespace vqdr {
+
+namespace {
+
+constexpr char kMarker[] = "Rmark";
+
+// φ ∧ R(x) as a computable query (φ may be in any language).
+Query GuardedMarker(const Query& phi, const std::string& name) {
+  VQDR_CHECK_EQ(phi.arity(), 0) << "reduction requires a Boolean sentence";
+  return Query::FromFunction(
+      1,
+      [phi](const Instance& d) {
+        if (phi.Eval(d).AsBool()) return d.Get(kMarker);
+        return Relation(1);
+      },
+      name);
+}
+
+}  // namespace
+
+DeterminacyInstance FromSatisfiability(const Query& phi, const Schema& sigma) {
+  DeterminacyInstance result{sigma, ViewSet(),
+                             GuardedMarker(phi, "phi & R(x)")};
+  result.base.Add(kMarker, 1);
+  return result;
+}
+
+DeterminacyInstance FromValidity(const Query& phi, const Schema& sigma) {
+  Schema base = sigma;
+  base.Add(kMarker, 1);
+
+  ViewSet views;
+  views.Add("V1", GuardedMarker(phi, "phi & R(x)"));
+
+  ConjunctiveQuery q("Q", {Term::Var("x")});
+  q.AddAtom(Atom(kMarker, {Term::Var("x")}));
+
+  return DeterminacyInstance{base, std::move(views), Query::FromCq(q)};
+}
+
+}  // namespace vqdr

@@ -1,0 +1,32 @@
+#ifndef VQDR_REDUCTIONS_SAT_REDUCTIONS_H_
+#define VQDR_REDUCTIONS_SAT_REDUCTIONS_H_
+
+#include <utility>
+
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// The Proposition 4.1 reductions: determinacy inherits undecidability from
+/// satisfiability of the query language and validity of the view language.
+
+/// A (views, query) pair produced by one of the reductions, plus the base
+/// schema it lives over.
+struct DeterminacyInstance {
+  Schema base;
+  ViewSet views;
+  Query query;
+};
+
+/// From satisfiability: given a Boolean query φ over `sigma`, builds the
+/// empty view set and Q = φ ∧ R(x) over σ ∪ {R/1}. Then V ↠ Q iff φ is
+/// unsatisfiable.
+DeterminacyInstance FromSatisfiability(const Query& phi, const Schema& sigma);
+
+/// From validity: given Boolean φ over `sigma`, builds V = {φ ∧ R(x)} and
+/// Q = R(x) over σ ∪ {R/1}. Then V ↠ Q iff φ is valid.
+DeterminacyInstance FromValidity(const Query& phi, const Schema& sigma);
+
+}  // namespace vqdr
+
+#endif  // VQDR_REDUCTIONS_SAT_REDUCTIONS_H_

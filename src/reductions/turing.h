@@ -1,0 +1,121 @@
+#ifndef VQDR_REDUCTIONS_TURING_H_
+#define VQDR_REDUCTIONS_TURING_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// The Theorem 5.1 construction: FO-to-FO rewriting is Turing-complete.
+/// Over σ = {R1/2, R2/2, Le/2, T/3}, the sentence φ_M states that Le is a
+/// total order with adom(R1) as initial elements and that T encodes a
+/// halting computation of machine M on enc_≤(R1) with output enc_≤(R2).
+/// The views are V = {Q_{R1} = φ_M ∧ R1(x,y)} and the query is
+/// Q = φ_M ∧ R2(x,y); then V ↠ Q and Q_V is exactly the query computed by
+/// M.
+///
+/// Substitution note (see DESIGN.md): φ_M exists as an FO sentence by the
+/// standard configuration-encoding technique; evaluating that sentence on a
+/// finite instance amounts to running the checks below, so the library
+/// implements φ_M's *semantics* directly (VerifyComputationInstance) and
+/// wraps view and query as computable queries. Everything downstream
+/// (determinacy, Q_V behaviour) is exercised unchanged.
+
+/// A single-tape deterministic Turing machine over a char alphabet.
+class SimpleTm {
+ public:
+  struct Transition {
+    int next_state = 0;
+    char write = '_';
+    int move = 0;  // -1, 0, +1
+  };
+
+  /// A configuration: control state, head position, tape contents.
+  struct Config {
+    int state = 0;
+    int head = 0;
+    std::string tape;
+  };
+
+  SimpleTm(int start_state, std::set<int> halt_states, char blank = '_')
+      : start_state_(start_state),
+        halt_states_(std::move(halt_states)),
+        blank_(blank) {}
+
+  /// Adds δ(state, read) = (next, write, move).
+  void AddTransition(int state, char read, Transition t) {
+    delta_[{state, read}] = t;
+  }
+
+  int start_state() const { return start_state_; }
+  bool IsHalting(int state) const { return halt_states_.count(state) > 0; }
+  char blank() const { return blank_; }
+
+  /// The transition for (state, read), if any (none ⇒ the machine hangs,
+  /// i.e. no halting computation exists).
+  std::optional<Transition> Delta(int state, char read) const;
+
+  /// Runs the machine, returning every configuration from the initial one
+  /// to the halting one. Errors if step or tape budgets are exceeded or the
+  /// machine hangs.
+  StatusOr<std::vector<Config>> Run(const std::string& input, int max_steps,
+                                    int max_tape) const;
+
+ private:
+  int start_state_;
+  std::set<int> halt_states_;
+  char blank_;
+  std::map<std::pair<int, char>, Transition> delta_;
+};
+
+/// The machine used in the runnable demonstration: flips every bit of the
+/// input ('0' ↔ '1'), halting at the first blank. It computes the graph
+/// complement query (within the active domain) through the encoding.
+SimpleTm ComplementTm();
+
+/// A machine that halts immediately: computes the identity query.
+SimpleTm IdentityTm();
+
+/// enc_≤(G): the |ranked|²-bit adjacency string of `edges` under the order
+/// given by `ranked` (rank i, j → position i·n + j).
+std::string EncodeGraph(const Relation& edges, const std::vector<Value>& ranked);
+
+/// Inverse of EncodeGraph.
+Relation DecodeGraph(const std::string& enc, const std::vector<Value>& ranked);
+
+/// σ = {R1/2, R2/2, Le/2, T/3}.
+Schema TuringSchema();
+
+/// Builds a database instance D over TuringSchema() containing the input
+/// graph R1, a linear order Le whose initial elements are adom(R1), the
+/// full computation trace T of `tm` on enc(R1), and the decoded output R2.
+/// `extra_elements` pads the order domain (it must cover max(#configs,
+/// tape cells used)); the function sizes automatically when it is -1.
+StatusOr<Instance> BuildComputationInstance(const SimpleTm& tm,
+                                            const Relation& input_graph,
+                                            int extra_elements = -1);
+
+/// The semantics of φ_M: true iff Le is a linear order with adom(R1) as an
+/// initial segment, T encodes a halting computation of `tm` on enc(R1), and
+/// R2 is the decoded output.
+bool VerifyComputationInstance(const SimpleTm& tm, const Instance& d);
+
+/// V = {VR1 = φ_M ∧ R1(x,y)} — a single binary view.
+ViewSet TuringViews(const SimpleTm& tm);
+
+/// Q = φ_M ∧ R2(x,y).
+Query TuringQuery(const SimpleTm& tm);
+
+/// The graph query computed by ComplementTm() through the encoding:
+/// complement of `edges` within its active domain.
+Relation ComplementWithinAdom(const Relation& edges);
+
+}  // namespace vqdr
+
+#endif  // VQDR_REDUCTIONS_TURING_H_

@@ -1,0 +1,155 @@
+#include "so/so_query.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "base/check.h"
+#include "fo/evaluator.h"
+
+namespace vqdr {
+
+namespace {
+
+// All tuples of the given arity over `universe`, in lexicographic order.
+std::vector<Tuple> AllTuples(const std::vector<Value>& universe, int arity) {
+  std::vector<Tuple> result;
+  if (arity == 0) {
+    result.push_back(Tuple{});
+    return result;
+  }
+  Tuple current(arity);
+  std::function<void(int)> rec = [&](int pos) {
+    if (pos == arity) {
+      result.push_back(current);
+      return;
+    }
+    for (Value v : universe) {
+      current[pos] = v;
+      rec(pos + 1);
+    }
+  };
+  rec(0);
+  return result;
+}
+
+}  // namespace
+
+std::string SoQuery::ToString() const {
+  std::ostringstream out;
+  out << (existential ? "exists-SO " : "forall-SO ");
+  for (std::size_t i = 0; i < relation_vars.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << relation_vars[i].name << "/" << relation_vars[i].arity;
+  }
+  out << " . " << matrix.ToString();
+  return out.str();
+}
+
+StatusOr<Relation> EvaluateSo(const SoQuery& q, const Instance& db,
+                              const SoBudget& budget) {
+  VQDR_CHECK(q.matrix.formula != nullptr);
+
+  // Universe: active domain plus the matrix's constants.
+  std::set<Value> universe_set = db.ActiveDomain();
+  for (Value c : q.matrix.formula->Constants()) universe_set.insert(c);
+  std::vector<Value> universe(universe_set.begin(), universe_set.end());
+
+  // Candidate tuple pools per quantified relation, with budget checks.
+  std::vector<std::vector<Tuple>> pools;
+  std::uint64_t total_assignments = 1;
+  for (const RelationDecl& decl : q.relation_vars) {
+    std::vector<Tuple> pool = AllTuples(universe, decl.arity);
+    if (pool.size() > budget.max_tuples_per_relation) {
+      return Status::Error("SO budget exceeded: relation " + decl.name +
+                           " has " + std::to_string(pool.size()) +
+                           " candidate tuples (max " +
+                           std::to_string(budget.max_tuples_per_relation) +
+                           ")");
+    }
+    // 2^(pool size) assignments for this relation.
+    if (pool.size() >= 63) return Status::Error("SO budget overflow");
+    std::uint64_t count = 1ull << pool.size();
+    if (total_assignments > budget.max_assignments / count) {
+      return Status::Error("SO budget exceeded: too many assignments");
+    }
+    total_assignments *= count;
+    pools.push_back(std::move(pool));
+  }
+
+  // Extended schema: base plus quantified relations.
+  Schema extended = db.schema();
+  for (const RelationDecl& decl : q.relation_vars) {
+    extended.Add(decl.name, decl.arity);
+  }
+
+  // Enumerate assignments of free variables over the universe; for each,
+  // search (∃) or verify (∀) over all relation assignments.
+  Relation result(q.head_arity());
+
+  // Checks the matrix truth over all relation assignments.
+  auto decide = [&](const std::map<std::string, Value>& binding) -> bool {
+    Instance extended_db(extended);
+    for (const RelationDecl& d : db.schema().decls()) {
+      extended_db.Set(d.name, db.Get(d.name));
+    }
+    std::function<bool(std::size_t)> rec = [&](std::size_t i) -> bool {
+      if (i == pools.size()) {
+        bool holds = EvalFo(q.matrix.formula, extended_db, binding);
+        return q.existential ? holds : holds;
+      }
+      const std::vector<Tuple>& pool = pools[i];
+      const std::string& name = q.relation_vars[i].name;
+      std::uint64_t subsets = 1ull << pool.size();
+      for (std::uint64_t mask = 0; mask < subsets; ++mask) {
+        Relation rel(q.relation_vars[i].arity);
+        for (std::size_t t = 0; t < pool.size(); ++t) {
+          if (mask & (1ull << t)) rel.Insert(pool[t]);
+        }
+        extended_db.Set(name, std::move(rel));
+        bool sub = rec(i + 1);
+        if (q.existential && sub) return true;
+        if (!q.existential && !sub) return false;
+      }
+      return !q.existential;
+    };
+    return rec(0);
+  };
+
+  if (q.head_arity() == 0) {
+    if (decide({})) result.Insert(Tuple{});
+    return result;
+  }
+  if (universe.empty()) return result;
+
+  std::map<std::string, Value> binding;
+  std::function<void(std::size_t)> loop = [&](std::size_t i) {
+    if (i == q.matrix.free_vars.size()) {
+      if (decide(binding)) {
+        Tuple answer;
+        for (const std::string& v : q.matrix.free_vars) {
+          answer.push_back(binding.at(v));
+        }
+        result.Insert(answer);
+      }
+      return;
+    }
+    for (Value v : universe) {
+      binding[q.matrix.free_vars[i]] = v;
+      loop(i + 1);
+    }
+    binding.erase(q.matrix.free_vars[i]);
+  };
+  loop(0);
+  return result;
+}
+
+StatusOr<bool> SoSentenceHolds(const SoQuery& q, const Instance& db,
+                               const SoBudget& budget) {
+  VQDR_CHECK_EQ(q.head_arity(), 0) << "SoSentenceHolds on non-Boolean query";
+  StatusOr<Relation> result = EvaluateSo(q, db, budget);
+  if (!result.ok()) return result.status();
+  return !result->empty();
+}
+
+}  // namespace vqdr

@@ -1,0 +1,52 @@
+#ifndef VQDR_SO_SO_QUERY_H_
+#define VQDR_SO_SO_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "fo/formula.h"
+
+namespace vqdr {
+
+/// A second-order query with a single block of quantified relation
+/// variables: ∃SO (existential=true) or ∀SO (existential=false) of Figure 1.
+/// The matrix is first-order over the base schema plus the quantified
+/// relation symbols.
+struct SoQuery {
+  bool existential = true;
+  std::vector<RelationDecl> relation_vars;
+  FoQuery matrix;
+
+  int head_arity() const { return matrix.head_arity(); }
+  std::string ToString() const;
+};
+
+/// Budget for SO evaluation: enumerating relation assignments is
+/// exponential (2^(n^k) per relation variable), so the evaluator refuses
+/// instances beyond the budget instead of running forever.
+struct SoBudget {
+  /// Max number of candidate tuples per quantified relation (n^k must not
+  /// exceed this).
+  std::size_t max_tuples_per_relation = 24;
+
+  /// Max total relation assignments examined per free-variable binding.
+  std::uint64_t max_assignments = 1u << 22;
+};
+
+/// Evaluates an SO query on a finite instance by enumerating relation
+/// assignments over the active domain (Fagin-style semantics: quantified
+/// relations range over adom(D) ∪ constants). Returns an error if the
+/// budget is exceeded.
+StatusOr<Relation> EvaluateSo(const SoQuery& q, const Instance& db,
+                              const SoBudget& budget = SoBudget());
+
+/// Truth of a Boolean SO query.
+StatusOr<bool> SoSentenceHolds(const SoQuery& q, const Instance& db,
+                               const SoBudget& budget = SoBudget());
+
+}  // namespace vqdr
+
+#endif  // VQDR_SO_SO_QUERY_H_

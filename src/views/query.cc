@@ -1,0 +1,193 @@
+#include "views/query.h"
+
+#include "base/check.h"
+#include "cq/matcher.h"
+#include "fo/evaluator.h"
+
+namespace vqdr {
+
+Query Query::FromDatalog(DatalogProgram program, std::string output) {
+  int arity = -1;
+  for (const DatalogRule& r : program.rules()) {
+    if (r.head.predicate == output) arity = r.head.arity();
+  }
+  VQDR_CHECK_GE(arity, 0) << "datalog output predicate " << output
+                          << " has no rules";
+  DatalogQuery dq;
+  dq.program = std::move(program);
+  dq.output = std::move(output);
+  dq.arity = arity;
+  return Query(std::move(dq));
+}
+
+Query Query::FromFunction(int arity,
+                          std::function<Relation(const Instance&)> fn,
+                          std::string description) {
+  VQDR_CHECK_GE(arity, 0);
+  VQDR_CHECK(fn != nullptr);
+  ComputableQuery cq;
+  cq.arity = arity;
+  cq.fn = std::move(fn);
+  cq.description = std::move(description);
+  return Query(std::move(cq));
+}
+
+Query::Language Query::language() const {
+  if (std::holds_alternative<ConjunctiveQuery>(impl_)) return Language::kCq;
+  if (std::holds_alternative<UnionQuery>(impl_)) return Language::kUcq;
+  if (std::holds_alternative<FoQuery>(impl_)) return Language::kFo;
+  if (std::holds_alternative<ComputableQuery>(impl_)) {
+    return Language::kComputable;
+  }
+  return Language::kDatalog;
+}
+
+int Query::arity() const {
+  if (const auto* cq = std::get_if<ConjunctiveQuery>(&impl_)) {
+    return cq->head_arity();
+  }
+  if (const auto* ucq = std::get_if<UnionQuery>(&impl_)) {
+    return ucq->head_arity();
+  }
+  if (const auto* fo = std::get_if<FoQuery>(&impl_)) return fo->head_arity();
+  if (const auto* c = std::get_if<ComputableQuery>(&impl_)) return c->arity;
+  return std::get<DatalogQuery>(impl_).arity;
+}
+
+Relation Query::Eval(const Instance& db) const {
+  if (const auto* cq = std::get_if<ConjunctiveQuery>(&impl_)) {
+    return EvaluateCq(*cq, db);
+  }
+  if (const auto* ucq = std::get_if<UnionQuery>(&impl_)) {
+    return EvaluateUcq(*ucq, db);
+  }
+  if (const auto* fo = std::get_if<FoQuery>(&impl_)) {
+    return EvaluateFo(*fo, db);
+  }
+  if (const auto* c = std::get_if<ComputableQuery>(&impl_)) {
+    Relation answer = c->fn(db);
+    VQDR_CHECK_EQ(answer.arity(), c->arity)
+        << "computable query returned wrong arity";
+    return answer;
+  }
+  const DatalogQuery& dq = std::get<DatalogQuery>(impl_);
+  StatusOr<Relation> result = dq.program.Query(db, dq.output);
+  VQDR_CHECK(result.ok()) << "datalog evaluation failed: "
+                          << result.status().message();
+  return std::move(result).value();
+}
+
+namespace {
+
+std::string CqFlavour(const ConjunctiveQuery& q, const std::string& base) {
+  std::string f = base;
+  if (q.UsesEquality()) f += "=";
+  if (q.UsesDisequality()) f += "!=";
+  if (q.UsesNegation()) f += "not";
+  return f;
+}
+
+}  // namespace
+
+std::string Query::Flavour() const {
+  if (const auto* cq = std::get_if<ConjunctiveQuery>(&impl_)) {
+    return CqFlavour(*cq, "CQ");
+  }
+  if (const auto* ucq = std::get_if<UnionQuery>(&impl_)) {
+    std::string worst = "UCQ";
+    for (const ConjunctiveQuery& d : ucq->disjuncts()) {
+      std::string f = CqFlavour(d, "UCQ");
+      if (f.size() > worst.size()) worst = f;
+    }
+    return worst;
+  }
+  if (const auto* fo = std::get_if<FoQuery>(&impl_)) {
+    return fo->formula->IsExistential() ? "existFO" : "FO";
+  }
+  if (std::holds_alternative<ComputableQuery>(impl_)) return "computable";
+  const DatalogQuery& dq = std::get<DatalogQuery>(impl_);
+  return dq.program.IsPositive() ? "Datalog" : "DatalogNot";
+}
+
+bool Query::IsSyntacticallyMonotone() const {
+  if (const auto* cq = std::get_if<ConjunctiveQuery>(&impl_)) {
+    return !cq->UsesNegation() && !cq->UsesDisequality();
+  }
+  if (const auto* ucq = std::get_if<UnionQuery>(&impl_)) {
+    for (const ConjunctiveQuery& d : ucq->disjuncts()) {
+      if (d.UsesNegation() || d.UsesDisequality()) return false;
+    }
+    return true;
+  }
+  if (std::holds_alternative<FoQuery>(impl_)) return false;  // conservative
+  if (std::holds_alternative<ComputableQuery>(impl_)) return false;
+  const DatalogQuery& dq = std::get<DatalogQuery>(impl_);
+  if (!dq.program.IsPositive()) return false;
+  for (const DatalogRule& r : dq.program.rules()) {
+    if (!r.disequalities.empty()) return false;
+  }
+  return true;
+}
+
+bool Query::IsExistential() const {
+  if (const auto* cq = std::get_if<ConjunctiveQuery>(&impl_)) {
+    return !cq->UsesNegation();
+  }
+  if (const auto* ucq = std::get_if<UnionQuery>(&impl_)) {
+    for (const ConjunctiveQuery& d : ucq->disjuncts()) {
+      if (d.UsesNegation()) return false;
+    }
+    return true;
+  }
+  if (const auto* fo = std::get_if<FoQuery>(&impl_)) {
+    return fo->formula->IsExistential();
+  }
+  return false;  // Datalog / computable: conservative
+}
+
+const ConjunctiveQuery& Query::AsCq() const {
+  const auto* cq = std::get_if<ConjunctiveQuery>(&impl_);
+  VQDR_CHECK(cq != nullptr) << "query is not a CQ";
+  return *cq;
+}
+
+const UnionQuery& Query::AsUcq() const {
+  const auto* ucq = std::get_if<UnionQuery>(&impl_);
+  VQDR_CHECK(ucq != nullptr) << "query is not a UCQ";
+  return *ucq;
+}
+
+const FoQuery& Query::AsFo() const {
+  const auto* fo = std::get_if<FoQuery>(&impl_);
+  VQDR_CHECK(fo != nullptr) << "query is not FO";
+  return *fo;
+}
+
+const DatalogProgram& Query::AsDatalog() const {
+  const auto* dq = std::get_if<DatalogQuery>(&impl_);
+  VQDR_CHECK(dq != nullptr) << "query is not Datalog";
+  return dq->program;
+}
+
+const std::string& Query::DatalogOutput() const {
+  const auto* dq = std::get_if<DatalogQuery>(&impl_);
+  VQDR_CHECK(dq != nullptr) << "query is not Datalog";
+  return dq->output;
+}
+
+std::string Query::ToString() const {
+  if (const auto* cq = std::get_if<ConjunctiveQuery>(&impl_)) {
+    return cq->ToString();
+  }
+  if (const auto* ucq = std::get_if<UnionQuery>(&impl_)) {
+    return ucq->ToString();
+  }
+  if (const auto* fo = std::get_if<FoQuery>(&impl_)) return fo->ToString();
+  if (const auto* c = std::get_if<ComputableQuery>(&impl_)) {
+    return "computable[" + c->description + "]";
+  }
+  const DatalogQuery& dq = std::get<DatalogQuery>(impl_);
+  return "datalog[" + dq.output + "]:\n" + dq.program.ToString();
+}
+
+}  // namespace vqdr

@@ -1,0 +1,98 @@
+#ifndef VQDR_VIEWS_QUERY_H_
+#define VQDR_VIEWS_QUERY_H_
+
+#include <string>
+#include <variant>
+
+#include "cq/conjunctive_query.h"
+#include "cq/ucq.h"
+#include "datalog/program.h"
+#include "fo/formula.h"
+
+namespace vqdr {
+
+/// A query in any of the paper's languages (Figure 1), with a uniform
+/// evaluation interface. Used as the definition language for views and for
+/// queries whose determinacy/rewriting is analysed.
+class Query {
+ public:
+  enum class Language {
+    kCq,       // possibly with =, ≠, ¬ — see Flavour()
+    kUcq,
+    kFo,
+    kDatalog,
+    kComputable,  // arbitrary computable query (Turing constructions, Q_V)
+  };
+
+  static Query FromCq(ConjunctiveQuery q) { return Query(std::move(q)); }
+  static Query FromUcq(UnionQuery q) { return Query(std::move(q)); }
+  static Query FromFo(FoQuery q) { return Query(std::move(q)); }
+
+  /// A Datalog query: program plus designated output predicate.
+  static Query FromDatalog(DatalogProgram program, std::string output);
+
+  /// An arbitrary computable query (the most general class the paper's
+  /// definitions range over — used for the Theorem 5.1 construction and for
+  /// induced mappings Q_V). The function must be generic; the library's
+  /// property checks can probe that but not enforce it.
+  static Query FromFunction(int arity,
+                            std::function<Relation(const Instance&)> fn,
+                            std::string description);
+
+  Language language() const;
+
+  /// Output arity.
+  int arity() const;
+
+  /// Evaluates on a finite instance. Datalog evaluation failures (unsafe /
+  /// unstratified programs) abort — validate programs before wrapping.
+  Relation Eval(const Instance& db) const;
+
+  /// Fine-grained classification string: "CQ", "CQ≠", "UCQ=", "∃FO", "FO",
+  /// "Datalog", "Datalog¬", …
+  std::string Flavour() const;
+
+  /// True if the query is syntactically monotone (CQ/UCQ without negation
+  /// or disequality; positive Datalog; not checked semantically for FO).
+  bool IsSyntacticallyMonotone() const;
+
+  /// True if the query is in the ∃FO fragment (CQ/UCQ always; FO by
+  /// polarity check; Datalog never, conservatively).
+  bool IsExistential() const;
+
+  // Accessors; abort if the language does not match.
+  const ConjunctiveQuery& AsCq() const;
+  const UnionQuery& AsUcq() const;
+  const FoQuery& AsFo() const;
+  const DatalogProgram& AsDatalog() const;
+  const std::string& DatalogOutput() const;
+
+  std::string ToString() const;
+
+ private:
+  explicit Query(ConjunctiveQuery q) : impl_(std::move(q)) {}
+  explicit Query(UnionQuery q) : impl_(std::move(q)) {}
+  explicit Query(FoQuery q) : impl_(std::move(q)) {}
+
+  struct DatalogQuery {
+    DatalogProgram program;
+    std::string output;
+    int arity = 0;
+  };
+  explicit Query(DatalogQuery q) : impl_(std::move(q)) {}
+
+  struct ComputableQuery {
+    int arity = 0;
+    std::function<Relation(const Instance&)> fn;
+    std::string description;
+  };
+  explicit Query(ComputableQuery q) : impl_(std::move(q)) {}
+
+  std::variant<ConjunctiveQuery, UnionQuery, FoQuery, DatalogQuery,
+               ComputableQuery>
+      impl_;
+};
+
+}  // namespace vqdr
+
+#endif  // VQDR_VIEWS_QUERY_H_

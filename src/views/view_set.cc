@@ -1,0 +1,83 @@
+#include "views/view_set.h"
+
+#include <sstream>
+
+#include "base/check.h"
+
+namespace vqdr {
+
+void ViewSet::Add(std::string name, Query query) {
+  for (const View& v : views_) {
+    VQDR_CHECK_NE(v.name, name) << "duplicate view name " << name;
+  }
+  views_.push_back(View{std::move(name), std::move(query)});
+}
+
+const View& ViewSet::Get(const std::string& name) const {
+  for (const View& v : views_) {
+    if (v.name == name) return v;
+  }
+  VQDR_CHECK(false) << "unknown view " << name;
+  __builtin_unreachable();
+}
+
+Schema ViewSet::OutputSchema() const {
+  Schema schema;
+  for (const View& v : views_) schema.Add(v.name, v.query.arity());
+  return schema;
+}
+
+Instance ViewSet::Apply(const Instance& db) const {
+  Instance result(OutputSchema());
+  for (const View& v : views_) {
+    result.Set(v.name, v.query.Eval(db));
+  }
+  return result;
+}
+
+bool ViewSet::AllPureCq() const {
+  for (const View& v : views_) {
+    if (v.query.language() != Query::Language::kCq ||
+        !v.query.AsCq().IsPureCq()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ViewSet::AllPureUcq() const {
+  for (const View& v : views_) {
+    if (v.query.language() == Query::Language::kCq) {
+      if (!v.query.AsCq().IsPureCq()) return false;
+    } else if (v.query.language() == Query::Language::kUcq) {
+      if (!v.query.AsUcq().IsPureUcq()) return false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ViewSet::AllExistential() const {
+  for (const View& v : views_) {
+    if (!v.query.IsExistential()) return false;
+  }
+  return true;
+}
+
+bool ViewSet::AllBoolean() const {
+  for (const View& v : views_) {
+    if (v.query.arity() != 0) return false;
+  }
+  return true;
+}
+
+std::string ViewSet::ToString() const {
+  std::ostringstream out;
+  for (const View& v : views_) {
+    out << v.name << ": " << v.query.ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vqdr

@@ -1,0 +1,59 @@
+#ifndef VQDR_VIEWS_VIEW_SET_H_
+#define VQDR_VIEWS_VIEW_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "views/query.h"
+
+namespace vqdr {
+
+/// One view: a named query V ∈ σ_V with definition Q_V.
+struct View {
+  std::string name;
+  Query query;
+};
+
+/// A view set **V** from I(σ) to I(σ_V) (Section 2 of the paper): one query
+/// per output relation symbol.
+class ViewSet {
+ public:
+  ViewSet() = default;
+
+  /// Adds a view; names must be unique.
+  void Add(std::string name, Query query);
+
+  const std::vector<View>& views() const { return views_; }
+  std::size_t size() const { return views_.size(); }
+  bool empty() const { return views_.empty(); }
+
+  /// The view by name; aborts if absent.
+  const View& Get(const std::string& name) const;
+
+  /// The output schema σ_V.
+  Schema OutputSchema() const;
+
+  /// Applies the view set: V(D), an instance over σ_V.
+  Instance Apply(const Instance& db) const;
+
+  /// True if every view definition is a pure CQ.
+  bool AllPureCq() const;
+
+  /// True if every view definition is a pure UCQ (pure CQs count).
+  bool AllPureUcq() const;
+
+  /// True if every view definition is existential (∃FO or below).
+  bool AllExistential() const;
+
+  /// True if every view is Boolean (arity 0).
+  bool AllBoolean() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<View> views_;
+};
+
+}  // namespace vqdr
+
+#endif  // VQDR_VIEWS_VIEW_SET_H_

@@ -1,0 +1,122 @@
+// Tests for the base substrate: Status/StatusOr, Rng determinism, string
+// utilities, Value/NamePool/ValueFactory.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/string_util.h"
+#include "data/value.h"
+
+namespace vqdr {
+namespace {
+
+TEST(StatusTest, OkAndError) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.message().empty());
+
+  Status err = Status::Error("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.message(), "boom");
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> value = 42;
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 42);
+  EXPECT_EQ(*value, 42);
+
+  StatusOr<int> error = Status::Error("nope");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().message(), "nope");
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> s = std::string("hello");
+  std::string moved = std::move(s).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 10; ++i) {
+    std::uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    // Different seeds diverge almost surely.
+  }
+  EXPECT_NE(Rng(7).Next(), c.Next());
+}
+
+TEST(RngTest, BelowAndRangeBounds) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(7), 7u);
+    std::int64_t r = rng.Range(-3, 3);
+    EXPECT_GE(r, -3);
+    EXPECT_LE(r, 3);
+  }
+}
+
+TEST(RngTest, ChanceIsRoughlyCalibrated) {
+  Rng rng(99);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Chance(1, 4)) ++hits;
+  }
+  EXPECT_GT(hits, 2000);
+  EXPECT_LT(hits, 3000);
+}
+
+TEST(StringUtilTest, Split) {
+  auto pieces = Split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(Split("", ';').size(), 1u);
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, StartsWithAndJoin) {
+  EXPECT_TRUE(StartsWith("schema E/2", "schema "));
+  EXPECT_FALSE(StartsWith("sch", "schema"));
+  std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ", "), "a, b, c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+}
+
+TEST(NamePoolTest, InternIsIdempotent) {
+  NamePool pool;
+  Value a1 = pool.Intern("alice");
+  Value a2 = pool.Intern("alice");
+  Value b = pool.Intern("bob");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(pool.NameOf(a1), "alice");
+  EXPECT_EQ(pool.NameOf(Value(999)), "#999");
+  EXPECT_EQ(pool.MaxId(), b.id);
+}
+
+TEST(ValueFactoryTest, FreshNeverCollides) {
+  ValueFactory factory;
+  factory.NoteUsed(Value(10));
+  std::set<Value> seen{Value(10)};
+  for (int i = 0; i < 100; ++i) {
+    Value v = factory.Fresh();
+    EXPECT_TRUE(seen.insert(v).second);
+    EXPECT_GT(v.id, 10);
+  }
+  // Noting a used value mid-stream raises the floor.
+  factory.NoteUsed(Value(10'000));
+  EXPECT_GT(factory.Fresh().id, 10'000);
+}
+
+}  // namespace
+}  // namespace vqdr

@@ -1,0 +1,167 @@
+// Tests for the V-inverse chase and the chase chain of Section 3
+// (Lemma 3.4, Proposition 3.6).
+
+#include <gtest/gtest.h>
+
+#include "chase/chain.h"
+#include "chase/view_inverse.h"
+#include "cq/canonical.h"
+#include "cq/parser.h"
+#include "gen/workloads.h"
+
+namespace vqdr {
+namespace {
+
+class ChaseFixture : public ::testing::Test {
+ protected:
+  ConjunctiveQuery Cq(const std::string& text) {
+    auto q = ParseCq(text, pool_);
+    EXPECT_TRUE(q.ok()) << q.status().message();
+    return q.value();
+  }
+
+  Instance Db(const std::string& text, const Schema& schema) {
+    auto d = ParseInstance(text, schema, pool_);
+    EXPECT_TRUE(d.ok()) << d.status().message();
+    return d.value();
+  }
+
+  NamePool pool_;
+};
+
+TEST_F(ChaseFixture, ViewInverseCreatesFrozenBodies) {
+  // One view: P2(x,y) = path of length 2.
+  ViewSet views;
+  views.Add("P2", Query::FromCq(Cq("P2(x, y) :- E(x, z), E(z, y)")));
+
+  Schema view_schema = views.OutputSchema();
+  Instance s(view_schema);
+  s.AddFact("P2", MakeTuple({1, 2}));
+
+  ValueFactory factory;
+  Instance empty(Schema{{"E", 2}});
+  Instance d = ViewInverse(views, empty, s, factory);
+
+  // The chase adds E(1, f), E(f, 2) with f fresh.
+  EXPECT_EQ(d.Get("E").size(), 2u);
+  Relation p2 = views.Apply(d).Get("P2");
+  EXPECT_TRUE(p2.Contains(MakeTuple({1, 2})));
+}
+
+TEST_F(ChaseFixture, ViewInverseSkipsWitnessedTuples) {
+  ViewSet views;
+  views.Add("P1", Query::FromCq(Cq("P1(x, y) :- E(x, y)")));
+
+  Instance base(Schema{{"E", 2}});
+  base.AddFact("E", MakeTuple({1, 2}));
+
+  // S' extends V(base) with one new tuple.
+  Instance s_prime(views.OutputSchema());
+  s_prime.AddFact("P1", MakeTuple({1, 2}));
+  s_prime.AddFact("P1", MakeTuple({2, 3}));
+
+  ValueFactory factory;
+  Instance d = ViewInverse(views, base, s_prime, factory);
+  // Only the new tuple is chased; the old one is kept, not duplicated.
+  EXPECT_EQ(d.Get("E").size(), 2u);
+  EXPECT_TRUE(d.HasFact("E", MakeTuple({2, 3})));
+}
+
+TEST_F(ChaseFixture, ViewInverseHandlesBooleanViews) {
+  ViewSet views;
+  views.Add("B", Query::FromCq(Cq("B() :- E(x, y), E(y, x)")));
+
+  Instance s(views.OutputSchema());
+  s.GetMutable("B").SetBool(true);
+
+  ValueFactory factory;
+  Instance empty(Schema{{"E", 2}});
+  Instance d = ViewInverse(views, empty, s, factory);
+  // The Boolean view's frozen body was added.
+  EXPECT_EQ(d.Get("E").size(), 2u);
+  EXPECT_TRUE(views.Apply(d).Get("B").AsBool());
+}
+
+TEST_F(ChaseFixture, Lemma34HomomorphismBackToOriginal) {
+  // Lemma 3.4: for D' = V_∅^{-1}(V(D)) there is a homomorphism D' → D
+  // fixing adom(D) — here checked with values of D fixed as constants.
+  ViewSet views = PathViews(2);
+  Instance d = PathInstance(4);
+
+  Instance s = views.Apply(d);
+  ValueFactory factory;
+  Instance empty(ChaseSchema(views, d.schema()));
+  Instance d_prime = ViewInverse(views, empty, s, factory);
+
+  std::map<Value, Value> fixed;
+  for (Value v : d.ActiveDomain()) fixed[v] = v;
+  auto hom = FindInstanceHomomorphism(d_prime, d, fixed);
+  EXPECT_TRUE(hom.has_value());
+}
+
+TEST_F(ChaseFixture, ChainPropertiesProposition36) {
+  // Views: paths of length 1 and 3; query: path of length 2 — the classic
+  // determined-but-interesting instance family.
+  ViewSet views;
+  views.Add("P1", Query::FromCq(Cq("P1(x, y) :- E(x, y)")));
+  views.Add("P3", Query::FromCq(Cq("P3(x, y) :- E(x, a), E(a, b), E(b, y)")));
+  ConjunctiveQuery q = Cq("Q(x, y) :- E(x, z), E(z, y)");
+
+  ValueFactory factory;
+  ChaseChain chain = BuildChaseChain(views, q, /*levels=*/2, factory);
+
+  for (int k = 0; k <= 2; ++k) {
+    // Property 1: hom D'_k → D_k fixing adom(D_k).
+    std::map<Value, Value> fixed;
+    for (Value v : chain.d[k].ActiveDomain()) fixed[v] = v;
+    EXPECT_TRUE(
+        FindInstanceHomomorphism(chain.d_prime[k], chain.d[k], fixed)
+            .has_value())
+        << "property 1 fails at level " << k;
+
+    if (k == 0) continue;
+    // Property 2: S'_k extends S_{k-1}.
+    EXPECT_TRUE(chain.s[k - 1].IsExtendedBy(chain.s_prime[k]))
+        << "property 2 fails at level " << k;
+    // Property 3: D_k extends D_{k-1}, with hom D_k → D_{k-1} fixing it.
+    EXPECT_TRUE(chain.d[k - 1].IsExtendedBy(chain.d[k]))
+        << "property 3 (extension) fails at level " << k;
+    std::map<Value, Value> fixed_prev;
+    for (Value v : chain.d[k - 1].ActiveDomain()) fixed_prev[v] = v;
+    EXPECT_TRUE(FindInstanceHomomorphism(chain.d[k], chain.d[k - 1],
+                                         fixed_prev)
+                    .has_value())
+        << "property 3 (hom) fails at level " << k;
+    // Property 4: S_k extends S'_k.
+    EXPECT_TRUE(chain.s_prime[k].IsExtendedBy(chain.s[k]))
+        << "property 4 fails at level " << k;
+    // Property 5: D'_k extends D'_{k-1} with hom back.
+    EXPECT_TRUE(chain.d_prime[k - 1].IsExtendedBy(chain.d_prime[k]))
+        << "property 5 (extension) fails at level " << k;
+    std::map<Value, Value> fixed_dp;
+    for (Value v : chain.d_prime[k - 1].ActiveDomain()) fixed_dp[v] = v;
+    EXPECT_TRUE(FindInstanceHomomorphism(chain.d_prime[k],
+                                         chain.d_prime[k - 1], fixed_dp)
+                    .has_value())
+        << "property 5 (hom) fails at level " << k;
+  }
+}
+
+TEST_F(ChaseFixture, ChainViewImagesConvergeTowardsAgreement) {
+  // The proof of Theorem 3.3 takes unions: S_∞ = S'_∞. At every finite
+  // level, S'_{k+1} ⊆ S_{k+1} and S_k ⊆ S'_{k+1} — the two sequences
+  // interleave.
+  ViewSet views;
+  views.Add("P1", Query::FromCq(Cq("P1(x, y) :- E(x, y)")));
+  ConjunctiveQuery q = Cq("Q(x, y) :- E(x, z), E(z, y)");
+
+  ValueFactory factory;
+  ChaseChain chain = BuildChaseChain(views, q, 3, factory);
+  for (int k = 0; k + 1 <= 3; ++k) {
+    EXPECT_TRUE(chain.s[k].IsSubInstanceOf(chain.s_prime[k + 1]));
+    EXPECT_TRUE(chain.s_prime[k + 1].IsSubInstanceOf(chain.s[k + 1]));
+  }
+}
+
+}  // namespace
+}  // namespace vqdr

@@ -1,0 +1,167 @@
+// Tests for CQ/UCQ containment, equivalence and minimisation
+// (Chandra–Merlin [9] and Sagiv–Yannakakis machinery used throughout the
+// paper's Section 3).
+
+#include <gtest/gtest.h>
+
+#include "cq/containment.h"
+#include "cq/minimize.h"
+#include "cq/parser.h"
+
+namespace vqdr {
+namespace {
+
+class ContainmentFixture : public ::testing::Test {
+ protected:
+  ConjunctiveQuery Cq(const std::string& text) {
+    auto q = ParseCq(text, pool_);
+    EXPECT_TRUE(q.ok()) << q.status().message() << " in: " << text;
+    return q.value();
+  }
+
+  UnionQuery Ucq(const std::string& text) {
+    auto q = ParseUcq(text, pool_);
+    EXPECT_TRUE(q.ok()) << q.status().message() << " in: " << text;
+    return q.value();
+  }
+
+  NamePool pool_;
+};
+
+TEST_F(ContainmentFixture, LongerPathContainedInShorter) {
+  // A 3-path implies a 2-path pattern (drop one hop).
+  ConjunctiveQuery p3 = Cq("Q(x, y) :- E(x, a), E(a, b), E(b, y)");
+  ConjunctiveQuery p1 = Cq("Q(x, y) :- E(x, y)");
+  // p1 says there is a direct edge: every direct edge yields a 3-walk only
+  // on reflexive graphs, so p1 is NOT contained in p3.
+  EXPECT_FALSE(CqContainedIn(p1, p3));
+  // And a 3-walk does not yield a direct edge either.
+  EXPECT_FALSE(CqContainedIn(p3, p1));
+}
+
+TEST_F(ContainmentFixture, TriangleContainedInWalk) {
+  ConjunctiveQuery triangle = Cq("Q(x) :- E(x, y), E(y, z), E(z, x)");
+  ConjunctiveQuery walk = Cq("Q(x) :- E(x, u), E(u, v)");
+  EXPECT_TRUE(CqContainedIn(triangle, walk));
+  EXPECT_FALSE(CqContainedIn(walk, triangle));
+}
+
+TEST_F(ContainmentFixture, EquivalentUpToRenaming) {
+  ConjunctiveQuery a = Cq("Q(x) :- R(x, y), S(y)");
+  ConjunctiveQuery b = Cq("Q(u) :- R(u, w), S(w)");
+  EXPECT_TRUE(CqEquivalent(a, b));
+}
+
+TEST_F(ContainmentFixture, RedundantAtomEquivalence) {
+  ConjunctiveQuery redundant = Cq("Q(x) :- R(x, y), R(x, z)");
+  ConjunctiveQuery minimal = Cq("Q(x) :- R(x, y)");
+  EXPECT_TRUE(CqEquivalent(redundant, minimal));
+}
+
+TEST_F(ContainmentFixture, ConstantsBlockContainment) {
+  ConjunctiveQuery general = Cq("Q(x) :- R(x, y)");
+  ConjunctiveQuery specific = Cq("Q(x) :- R(x, 'a')");
+  EXPECT_TRUE(CqContainedIn(specific, general));
+  EXPECT_FALSE(CqContainedIn(general, specific));
+}
+
+TEST_F(ContainmentFixture, DistinctConstantsNotEquivalent) {
+  ConjunctiveQuery qa = Cq("Q() :- R('a')");
+  ConjunctiveQuery qb = Cq("Q() :- R('b')");
+  EXPECT_FALSE(CqContainedIn(qa, qb));
+  EXPECT_FALSE(CqContainedIn(qb, qa));
+}
+
+TEST_F(ContainmentFixture, UnsatisfiableContainedEverywhere) {
+  ConjunctiveQuery bot = Cq("Q(x) :- R(x), 'a' = 'b'");
+  ConjunctiveQuery any = Cq("Q(x) :- S(x)");
+  EXPECT_TRUE(CqContainedIn(bot, any));
+  EXPECT_FALSE(CqContainedIn(any, bot));
+  EXPECT_FALSE(CqSatisfiable(bot));
+  EXPECT_TRUE(CqSatisfiable(any));
+}
+
+// The classical incompleteness example for the naive (single canonical
+// instance) test in the presence of ≠: with disequalities the containment
+// test must consider variable identifications.
+TEST_F(ContainmentFixture, DisequalityContainmentNeedsPatterns) {
+  // Q1(x) :- R(x,y), R(y,x): on instances where x=y is forced, Q2 with
+  // x != y does not apply, so Q1 is not contained in Q2.
+  ConjunctiveQuery q1 = Cq("Q(x) :- R(x, y), R(y, x)");
+  ConjunctiveQuery q2 = Cq("Q(x) :- R(x, y), R(y, x), x != y");
+  EXPECT_TRUE(CqContainedIn(q2, q1));
+  EXPECT_FALSE(CqContainedIn(q1, q2));
+}
+
+TEST_F(ContainmentFixture, DisequalityEquivalentQueries) {
+  ConjunctiveQuery a = Cq("Q(x) :- R(x, y), x != y");
+  ConjunctiveQuery b = Cq("Q(u) :- R(u, v), v != u");
+  EXPECT_TRUE(CqContainedIn(a, b));
+  EXPECT_TRUE(CqContainedIn(b, a));
+}
+
+TEST_F(ContainmentFixture, UcqContainmentPerDisjunct) {
+  UnionQuery small = Ucq("Q(x) :- A(x)");
+  UnionQuery big = Ucq("Q(x) :- A(x) | Q(x) :- B(x)");
+  EXPECT_TRUE(UcqContainedIn(small, big));
+  EXPECT_FALSE(UcqContainedIn(big, small));
+}
+
+TEST_F(ContainmentFixture, UcqContainmentIntoUnionNotSingle) {
+  // Sagiv–Yannakakis: a disjunct may be covered by the union even though it
+  // maps into no single disjunct — but for pure CQs each canonical instance
+  // must satisfy some single disjunct, which this test exercises.
+  UnionQuery left = Ucq("Q(x) :- A(x), B(x)");
+  UnionQuery right = Ucq("Q(x) :- A(x) | Q(x) :- B(x)");
+  EXPECT_TRUE(UcqContainedIn(left, right));
+  EXPECT_FALSE(UcqContainedIn(right, left));
+}
+
+TEST_F(ContainmentFixture, UcqEquivalenceModuloSubsumedDisjunct) {
+  UnionQuery with_redundant =
+      Ucq("Q(x) :- A(x) | Q(x) :- A(x), B(x)");
+  UnionQuery minimal = Ucq("Q(x) :- A(x)");
+  EXPECT_TRUE(UcqEquivalent(with_redundant, minimal));
+}
+
+TEST_F(ContainmentFixture, MinimizeRemovesRedundantAtoms) {
+  ConjunctiveQuery q = Cq("Q(x) :- R(x, y), R(x, z), R(x, w)");
+  ConjunctiveQuery core = MinimizeCq(q);
+  EXPECT_EQ(core.atoms().size(), 1u);
+  EXPECT_TRUE(CqEquivalent(q, core));
+}
+
+TEST_F(ContainmentFixture, MinimizeKeepsNonRedundantAtoms) {
+  ConjunctiveQuery q = Cq("Q(x, y) :- E(x, z), E(z, y)");
+  ConjunctiveQuery core = MinimizeCq(q);
+  EXPECT_EQ(core.atoms().size(), 2u);
+}
+
+TEST_F(ContainmentFixture, MinimizeFoldsChainOntoTriangleCore) {
+  // Boolean query: triangle plus a pendant walk folds onto the triangle.
+  ConjunctiveQuery q =
+      Cq("Q() :- E(x, y), E(y, z), E(z, x), E(x, u), E(u, v)");
+  ConjunctiveQuery core = MinimizeCq(q);
+  EXPECT_EQ(core.atoms().size(), 3u);
+  EXPECT_TRUE(CqEquivalent(q, core));
+}
+
+TEST_F(ContainmentFixture, MinimizeUcqDropsSubsumedDisjuncts) {
+  UnionQuery q =
+      Ucq("Q(x) :- A(x) | Q(x) :- A(x), B(x) | Q(x) :- C(x, y), C(x, z)");
+  UnionQuery min = MinimizeUcq(q);
+  ASSERT_EQ(min.disjuncts().size(), 2u);
+  EXPECT_EQ(min.disjuncts()[0].atoms().size(), 1u);
+  EXPECT_EQ(min.disjuncts()[1].atoms().size(), 1u);
+  EXPECT_TRUE(UcqEquivalent(q, min));
+}
+
+TEST_F(ContainmentFixture, MinimizeUcqKeepsOneOfEquivalentPair) {
+  UnionQuery q = Ucq("Q(x) :- A(x), A(x) | Q(x) :- A(x)");
+  UnionQuery min = MinimizeUcq(q);
+  EXPECT_EQ(min.disjuncts().size(), 1u);
+  EXPECT_TRUE(UcqEquivalent(q, min));
+}
+
+}  // namespace
+}  // namespace vqdr

@@ -1,0 +1,291 @@
+// Tests for the remaining core machinery: the twin-schema encoding of
+// Section 4, Boolean-view determinacy (Theorem 4.6), query answering
+// through views (Lemma 5.3 / Theorem 5.2), certain answers, and the
+// monotonicity search.
+
+#include <gtest/gtest.h>
+
+#include "core/boolean_views.h"
+#include "core/determinacy.h"
+#include "core/finite_search.h"
+#include "core/query_answering.h"
+#include "core/twin_encoding.h"
+#include "cq/matcher.h"
+#include "cq/parser.h"
+#include "gen/workloads.h"
+
+namespace vqdr {
+namespace {
+
+class CoreExtraFixture : public ::testing::Test {
+ protected:
+  ConjunctiveQuery Cq(const std::string& text) {
+    auto q = ParseCq(text, pool_);
+    EXPECT_TRUE(q.ok()) << q.status().message();
+    return q.value();
+  }
+
+  ViewSet CqViews(const std::vector<std::string>& defs) {
+    ViewSet views;
+    for (const std::string& def : defs) {
+      ConjunctiveQuery q = Cq(def);
+      views.Add(q.head_name(), Query::FromCq(q));
+    }
+    return views;
+  }
+
+  Instance Db(const std::string& text, const Schema& schema) {
+    auto d = ParseInstance(text, schema, pool_);
+    EXPECT_TRUE(d.ok()) << d.status().message();
+    return d.value();
+  }
+
+  NamePool pool_;
+};
+
+// ---- Twin-schema encoding (Section 4) ----
+
+TEST_F(CoreExtraFixture, TwinSearchFindsCounterexampleForProjection) {
+  Schema base{{"E", 2}};
+  ViewSet views = CqViews({"V(x) :- E(x, y)"});
+  Query q = Query::FromCq(Cq("Q(x, y) :- E(x, y)"));
+  TwinEncoding encoding = BuildTwinEncoding(views, q, base);
+  EnumerationOptions options;
+  options.domain_size = 2;
+  TwinSatResult result = BoundedTwinSearch(encoding, base, options);
+  ASSERT_EQ(result.verdict, SearchVerdict::kCounterexampleFound);
+  const auto& ce = *result.counterexample;
+  EXPECT_EQ(views.Apply(ce.d1), views.Apply(ce.d2));
+  EXPECT_NE(q.Eval(ce.d1), q.Eval(ce.d2));
+}
+
+TEST_F(CoreExtraFixture, TwinSearchSilentOnDeterminedPair) {
+  Schema base{{"E", 2}};
+  ViewSet views = CqViews({"V(x, y) :- E(x, y)"});
+  Query q = Query::FromCq(Cq("Q(x, y) :- E(x, z), E(z, y)"));
+  TwinEncoding encoding = BuildTwinEncoding(views, q, base);
+  EnumerationOptions options;
+  options.domain_size = 2;
+  TwinSatResult result = BoundedTwinSearch(encoding, base, options);
+  EXPECT_EQ(result.verdict, SearchVerdict::kNoneWithinBound);
+}
+
+TEST_F(CoreExtraFixture, TwinSearchAgreesWithDirectSearch) {
+  // The two bounded refutation methods must agree on refutability.
+  Schema base{{"E", 2}};
+  std::vector<std::pair<std::vector<std::string>, std::string>> cases = {
+      {{"V(x) :- E(x, y)"}, "Q(x, y) :- E(x, y)"},         // refutable
+      {{"V(x, y) :- E(x, y)"}, "Q(x) :- E(x, x)"},         // determined
+      {{"P2(x, y) :- E(x, z), E(z, y)"}, "Q(x) :- E(x, x)"},  // refutable
+  };
+  EnumerationOptions options;
+  options.domain_size = 2;
+  for (const auto& [defs, qtext] : cases) {
+    ViewSet views = CqViews(defs);
+    Query q = Query::FromCq(Cq(qtext));
+    auto direct = SearchDeterminacyCounterexample(views, q, base, options);
+    auto twin = BoundedTwinSearch(BuildTwinEncoding(views, q, base), base,
+                                  options);
+    EXPECT_EQ(direct.verdict == SearchVerdict::kCounterexampleFound,
+              twin.verdict == SearchVerdict::kCounterexampleFound)
+        << qtext;
+  }
+}
+
+// ---- Boolean views (Theorem 4.6) ----
+
+TEST_F(CoreExtraFixture, BooleanViewsDetermineSameBooleanQuery) {
+  ViewSet views = CqViews({"V() :- E(x, x)"});
+  ConjunctiveQuery q = Cq("Q() :- E(y, y)");
+  auto result = DecideBooleanViewDeterminacy(views, q);
+  EXPECT_TRUE(result.determined);
+  EXPECT_GE(result.realizable_classes, 2);
+}
+
+TEST_F(CoreExtraFixture, BooleanViewsDoNotDetermineStrongerQuery) {
+  // V = "some edge exists"; Q = "some self-loop exists": same view image
+  // can hold with and without a loop.
+  ViewSet views = CqViews({"V() :- E(x, y)"});
+  ConjunctiveQuery q = Cq("Q() :- E(x, x)");
+  auto result = DecideBooleanViewDeterminacy(views, q);
+  ASSERT_FALSE(result.determined);
+  const auto& ce = *result.counterexample;
+  EXPECT_EQ(views.Apply(ce.d1), views.Apply(ce.d2));
+  EXPECT_NE(EvaluateCq(q, ce.d1), EvaluateCq(q, ce.d2));
+}
+
+TEST_F(CoreExtraFixture, BooleanViewsImpliedQueryIsDetermined) {
+  // Q = "some walk of length 2" is implied by V = "some self-loop"... only
+  // in one class; in the V-false class Q varies, so NOT determined.
+  ViewSet views = CqViews({"V() :- E(x, x)"});
+  ConjunctiveQuery q = Cq("Q() :- E(x, y), E(y, z)");
+  auto result = DecideBooleanViewDeterminacy(views, q);
+  ASSERT_FALSE(result.determined);
+  const auto& ce = *result.counterexample;
+  EXPECT_EQ(views.Apply(ce.d1), views.Apply(ce.d2));
+  EXPECT_NE(EvaluateCq(q, ce.d1), EvaluateCq(q, ce.d2));
+}
+
+TEST_F(CoreExtraFixture, TwoBooleanViewsDetermineConjunction) {
+  ViewSet views = CqViews({"V1() :- A(x)", "V2() :- B(x)"});
+  ConjunctiveQuery q = Cq("Q() :- A(x), B(y)");
+  EXPECT_TRUE(DecideBooleanViewDeterminacy(views, q).determined);
+}
+
+TEST_F(CoreExtraFixture, TwoBooleanViewsDoNotDetermineJoin) {
+  // Q joins on the same element; V only reveals nonemptiness of A and B.
+  ViewSet views = CqViews({"V1() :- A(x)", "V2() :- B(x)"});
+  ConjunctiveQuery q = Cq("Q() :- A(x), B(x)");
+  auto result = DecideBooleanViewDeterminacy(views, q);
+  ASSERT_FALSE(result.determined);
+  const auto& ce = *result.counterexample;
+  EXPECT_EQ(views.Apply(ce.d1), views.Apply(ce.d2));
+  EXPECT_NE(EvaluateCq(q, ce.d1), EvaluateCq(q, ce.d2));
+}
+
+TEST_F(CoreExtraFixture, BooleanViewsNeverDetermineNonBooleanQuery) {
+  ViewSet views = CqViews({"V() :- P(x)"});
+  ConjunctiveQuery q = Cq("Q(x) :- P(x)");
+  auto result = DecideBooleanViewDeterminacy(views, q);
+  ASSERT_FALSE(result.determined);
+  const auto& ce = *result.counterexample;
+  EXPECT_EQ(views.Apply(ce.d1), views.Apply(ce.d2));
+  EXPECT_NE(EvaluateCq(q, ce.d1), EvaluateCq(q, ce.d2));
+}
+
+TEST_F(CoreExtraFixture, BooleanViewsDetermineConstantOnlyAnswer) {
+  // Q's answer is always ⊆ {('a')}, fixed by genericity; V reveals exactly
+  // whether it is nonempty.
+  ViewSet views = CqViews({"V() :- P('a')"});
+  ConjunctiveQuery q = Cq("Q(x) :- P(x), x = 'a'");
+  bool sat = true;
+  ConjunctiveQuery pure = q.PropagateEqualities(&sat);
+  ASSERT_TRUE(sat);
+  ASSERT_TRUE(pure.IsPureCq());
+  EXPECT_TRUE(DecideBooleanViewDeterminacy(views, pure).determined);
+}
+
+TEST_F(CoreExtraFixture, BooleanDecisionAgreesWithBoundedSearch) {
+  // Property sweep: the exact Boolean decision and the brute-force finite
+  // search agree on refutability for a family of view/query combinations.
+  Schema base{{"E", 2}};
+  std::vector<std::string> bool_views = {"V() :- E(x, x)", "V() :- E(x, y)",
+                                         "V() :- E(x, y), E(y, x)"};
+  std::vector<std::string> bool_queries = {
+      "Q() :- E(x, x)", "Q() :- E(x, y)", "Q() :- E(x, y), E(y, x)",
+      "Q() :- E(x, y), E(y, z)"};
+  EnumerationOptions options;
+  options.domain_size = 2;
+  for (const std::string& vdef : bool_views) {
+    for (const std::string& qdef : bool_queries) {
+      ViewSet views = CqViews({vdef});
+      ConjunctiveQuery q = Cq(qdef);
+      auto exact = DecideBooleanViewDeterminacy(views, q);
+      auto search = SearchDeterminacyCounterexample(views, Query::FromCq(q),
+                                                    base, options);
+      if (search.verdict == SearchVerdict::kCounterexampleFound) {
+        EXPECT_FALSE(exact.determined) << vdef << " / " << qdef;
+      }
+      if (exact.determined) {
+        EXPECT_EQ(search.verdict, SearchVerdict::kNoneWithinBound)
+            << vdef << " / " << qdef;
+      }
+    }
+  }
+}
+
+// ---- Query answering (Lemma 5.3) ----
+
+TEST_F(CoreExtraFixture, AnswerViaPreimageComputesQv) {
+  Schema base{{"E", 2}};
+  ViewSet views = CqViews({"P1(x, y) :- E(x, y)"});
+  Query q = Query::FromCq(Cq("Q(x, y) :- E(x, z), E(z, y)"));
+
+  Instance d = PathInstance(3);
+  Instance s = views.Apply(d);
+  QueryAnsweringOptions opts;
+  opts.extra_values = 0;  // P1 exposes E fully, no fresh values needed
+  auto answer = AnswerViaPreimage(views, q, base, s, opts);
+  ASSERT_TRUE(answer.ok()) << answer.status().message();
+  EXPECT_EQ(answer->answer, q.Eval(d));
+}
+
+TEST_F(CoreExtraFixture, AnswerViaPreimageFailsOffImage) {
+  Schema base{{"E", 2}};
+  // The view forces symmetric pairs; an asymmetric extent has no pre-image.
+  ViewSet views = CqViews({"V(x, y) :- E(x, y), E(y, x)"});
+  Instance s(views.OutputSchema());
+  s.AddFact("V", MakeTuple({1, 2}));  // but (2,1) missing: impossible
+  QueryAnsweringOptions opts;
+  opts.extra_values = 0;
+  Query q = Query::FromCq(Cq("Q(x) :- E(x, x)"));
+  EXPECT_FALSE(AnswerViaPreimage(views, q, base, s, opts).ok());
+}
+
+TEST_F(CoreExtraFixture, AllPreimagesAgreeWhenDetermined) {
+  Schema base{{"E", 2}};
+  ViewSet views = CqViews({"P1(x, y) :- E(x, y)"});
+  Query q = Query::FromCq(Cq("Q(x, y) :- E(x, z), E(z, y)"));
+  Instance s = views.Apply(PathInstance(3));
+  QueryAnsweringOptions opts;
+  opts.extra_values = 1;
+  PreimageAgreement agreement =
+      AnswerViaAllPreimages(views, q, base, s, opts);
+  EXPECT_TRUE(agreement.any_preimage);
+  EXPECT_TRUE(agreement.all_agree);
+}
+
+TEST_F(CoreExtraFixture, PreimagesDisagreeWhenNotDetermined) {
+  Schema base{{"E", 2}};
+  ViewSet views = CqViews({"V(x) :- E(x, y)"});
+  Query q = Query::FromCq(Cq("Q(x, y) :- E(x, y)"));
+  Instance d = Db("E(a, b)", base);
+  Instance s = views.Apply(d);
+  QueryAnsweringOptions opts;
+  opts.extra_values = 1;
+  PreimageAgreement agreement =
+      AnswerViaAllPreimages(views, q, base, s, opts);
+  EXPECT_TRUE(agreement.any_preimage);
+  EXPECT_FALSE(agreement.all_agree);
+  ASSERT_TRUE(agreement.disagreement.has_value());
+  EXPECT_EQ(views.Apply(agreement.disagreement->first), s);
+  EXPECT_EQ(views.Apply(agreement.disagreement->second), s);
+}
+
+TEST_F(CoreExtraFixture, CertainAnswersIntersectPreimages) {
+  Schema base{{"E", 2}};
+  ViewSet views = CqViews({"V(x) :- E(x, y)"});
+  // Q asks for sources; certain answers: x is a source in EVERY pre-image,
+  // which holds exactly for the exposed sources.
+  Query q = Query::FromCq(Cq("Q(x) :- E(x, y)"));
+  Instance d = Db("E(a, b)", base);
+  Instance s = views.Apply(d);
+  QueryAnsweringOptions opts;
+  opts.extra_values = 1;
+  CertainAnswers certain = ComputeCertainAnswers(views, q, base, s, opts);
+  EXPECT_TRUE(certain.any_preimage);
+  EXPECT_EQ(certain.answer.size(), 1u);
+  EXPECT_TRUE(certain.answer.Contains(Tuple{pool_.Intern("a")}));
+
+  // For a non-determined target, certain answers are strictly below some
+  // pre-image's answer.
+  Query q2 = Query::FromCq(Cq("Q(x, y) :- E(x, y)"));
+  CertainAnswers certain2 = ComputeCertainAnswers(views, q2, base, s, opts);
+  EXPECT_TRUE(certain2.any_preimage);
+  EXPECT_TRUE(certain2.answer.empty());
+}
+
+// ---- Monotonicity search ----
+
+TEST_F(CoreExtraFixture, MonotonicitySearchCleanOnMonotoneComposition) {
+  Schema base{{"E", 2}};
+  ViewSet views = CqViews({"P1(x, y) :- E(x, y)"});
+  Query q = Query::FromCq(Cq("Q(x, y) :- E(x, z), E(z, y)"));
+  EnumerationOptions options;
+  options.domain_size = 2;
+  auto result = SearchMonotonicityViolation(views, q, base, options);
+  EXPECT_EQ(result.verdict, SearchVerdict::kNoneWithinBound);
+}
+
+}  // namespace
+}  // namespace vqdr

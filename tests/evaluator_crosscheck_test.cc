@@ -1,0 +1,143 @@
+// Differential testing of the production matcher against a deliberately
+// naive reference evaluator: every assignment of the query's variables over
+// the active domain is tried, with no join ordering and no pruning. The
+// two must agree on all inputs — the strongest guard against subtle
+// matcher bugs (binding leaks, atom-ordering interactions, constant
+// handling).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "cq/matcher.h"
+#include "gen/random_instance.h"
+#include "gen/random_query.h"
+
+namespace vqdr {
+namespace {
+
+// The reference evaluator: full cross-product over adom per variable.
+Relation NaiveEvaluate(const ConjunctiveQuery& q, const Instance& db) {
+  bool satisfiable = true;
+  ConjunctiveQuery n = q.PropagateEqualities(&satisfiable);
+  Relation result(q.head_arity());
+  if (!satisfiable) return result;
+
+  std::set<Value> adom_set = db.ActiveDomain();
+  for (Value c : n.Constants()) adom_set.insert(c);
+  std::vector<Value> adom(adom_set.begin(), adom_set.end());
+  std::vector<std::string> vars = n.AllVariables();
+  if (adom.empty() && !vars.empty()) return result;
+
+  std::map<std::string, Value> binding;
+  auto resolve = [&](const Term& t) {
+    return t.is_const() ? t.constant() : binding.at(t.var());
+  };
+  std::function<void(std::size_t)> rec = [&](std::size_t i) {
+    if (i == vars.size()) {
+      for (const Atom& a : n.atoms()) {
+        Tuple ground;
+        for (const Term& t : a.args) ground.push_back(resolve(t));
+        if (!db.schema().Contains(a.predicate) ||
+            !db.HasFact(a.predicate, ground)) {
+          return;
+        }
+      }
+      for (const Atom& a : n.negated_atoms()) {
+        if (!db.schema().Contains(a.predicate)) continue;
+        Tuple ground;
+        for (const Term& t : a.args) ground.push_back(resolve(t));
+        if (db.HasFact(a.predicate, ground)) return;
+      }
+      for (const TermComparison& c : n.disequalities()) {
+        if (resolve(c.lhs) == resolve(c.rhs)) return;
+      }
+      Tuple answer;
+      for (const Term& t : n.head_terms()) answer.push_back(resolve(t));
+      result.Insert(answer);
+      return;
+    }
+    for (Value v : adom) {
+      binding[vars[i]] = v;
+      rec(i + 1);
+    }
+    binding.erase(vars[i]);
+  };
+  rec(0);
+  return result;
+}
+
+class MatcherCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST_P(MatcherCrossCheck, PureCqAgreesWithNaive) {
+  Rng rng(GetParam());
+  RandomCqOptions options;
+  options.max_atoms = 3;
+  options.variable_pool = 3;
+  options.head_arity = static_cast<int>(rng.Below(3));
+  ConjunctiveQuery q = RandomCq(rng, options);
+  if (!q.IsSafe()) GTEST_SKIP();
+
+  RandomInstanceOptions iopts;
+  iopts.domain_size = 4;
+  iopts.tuples_per_relation = 6;
+  for (int round = 0; round < 3; ++round) {
+    Instance d = RandomInstance(options.schema, rng, iopts);
+    EXPECT_EQ(EvaluateCq(q, d), NaiveEvaluate(q, d))
+        << q.ToString() << "\n"
+        << d.ToString();
+  }
+}
+
+TEST_P(MatcherCrossCheck, ExtendedCqAgreesWithNaive) {
+  // Randomly sprinkle disequalities and negated atoms onto a random CQ.
+  Rng rng(GetParam() + 1000);
+  RandomCqOptions options;
+  options.max_atoms = 2;
+  options.variable_pool = 3;
+  ConjunctiveQuery base = RandomCq(rng, options);
+  if (!base.IsSafe() || base.atoms().empty()) GTEST_SKIP();
+
+  ConjunctiveQuery q = base;
+  std::vector<std::string> vars = base.AllVariables();
+  if (vars.size() >= 2 && rng.Chance(1, 2)) {
+    q.AddDisequality(Term::Var(vars[0]), Term::Var(vars[1]));
+  }
+  if (!vars.empty() && rng.Chance(1, 2)) {
+    q.AddNegatedAtom(Atom("P", {Term::Var(vars[rng.Below(vars.size())])}));
+  }
+  if (vars.size() >= 2 && rng.Chance(1, 3)) {
+    q.AddEquality(Term::Var(vars[vars.size() - 1]), Term::Var(vars[0]));
+  }
+  if (!q.IsSafe()) GTEST_SKIP();
+
+  RandomInstanceOptions iopts;
+  iopts.domain_size = 4;
+  for (int round = 0; round < 3; ++round) {
+    Instance d = RandomInstance(options.schema, rng, iopts);
+    EXPECT_EQ(EvaluateCq(q, d), NaiveEvaluate(q, d))
+        << q.ToString() << "\n"
+        << d.ToString();
+  }
+}
+
+TEST_P(MatcherCrossCheck, CqAnswerContainsAgreesWithFullEvaluation) {
+  Rng rng(GetParam() + 2000);
+  RandomCqOptions options;
+  options.head_arity = 1;
+  ConjunctiveQuery q = RandomCq(rng, options);
+  if (!q.IsSafe()) GTEST_SKIP();
+  RandomInstanceOptions iopts;
+  iopts.domain_size = 4;
+  Instance d = RandomInstance(options.schema, rng, iopts);
+  Relation full = EvaluateCq(q, d);
+  for (Value v : d.ActiveDomain()) {
+    EXPECT_EQ(CqAnswerContains(q, d, Tuple{v}), full.Contains(Tuple{v}));
+  }
+}
+
+}  // namespace
+}  // namespace vqdr

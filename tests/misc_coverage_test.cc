@@ -1,0 +1,168 @@
+// Coverage for the remaining public surface: Query wrapper semantics,
+// ViewSet classification, twin-instance splitting, normalization
+// simplifier, SO assignment budgets, UCQ minimisation corners, and search
+// budget verdicts.
+
+#include <gtest/gtest.h>
+
+#include "core/finite_search.h"
+#include "core/twin_encoding.h"
+#include "cq/minimize.h"
+#include "cq/parser.h"
+#include "fo/normalize.h"
+#include "fo/parser.h"
+#include "gen/workloads.h"
+#include "so/so_query.h"
+
+namespace vqdr {
+namespace {
+
+class MiscFixture : public ::testing::Test {
+ protected:
+  ConjunctiveQuery Cq(const std::string& text) {
+    auto q = ParseCq(text, pool_);
+    EXPECT_TRUE(q.ok()) << q.status().message();
+    return q.value();
+  }
+  NamePool pool_;
+};
+
+TEST_F(MiscFixture, QueryFlavourStrings) {
+  EXPECT_EQ(Query::FromCq(Cq("Q(x) :- R(x)")).Flavour(), "CQ");
+  EXPECT_EQ(Query::FromCq(Cq("Q(x) :- R(x), x != x")).Flavour(), "CQ!=");
+  EXPECT_EQ(Query::FromCq(Cq("Q(x) :- R(x), not S(x)")).Flavour(), "CQnot");
+  EXPECT_EQ(Query::FromCq(Cq("Q(x) :- R(x), x = x")).Flavour(), "CQ=");
+
+  auto ucq = ParseUcq("Q(x) :- R(x) | Q(x) :- S(x)", pool_).value();
+  EXPECT_EQ(Query::FromUcq(ucq).Flavour(), "UCQ");
+
+  FoQuery fo;
+  fo.formula = ParseFo("exists x . R(x)", pool_).value();
+  EXPECT_EQ(Query::FromFo(fo).Flavour(), "existFO");
+  FoQuery fo2;
+  fo2.formula = ParseFo("forall x . R(x)", pool_).value();
+  EXPECT_EQ(Query::FromFo(fo2).Flavour(), "FO");
+}
+
+TEST_F(MiscFixture, QueryFromFunctionEvaluates) {
+  Query q = Query::FromFunction(
+      0,
+      [](const Instance& d) {
+        Relation r(0);
+        r.SetBool(d.TupleCount() % 2 == 0);
+        return r;
+      },
+      "even tuple count");
+  EXPECT_EQ(q.language(), Query::Language::kComputable);
+  EXPECT_EQ(q.Flavour(), "computable");
+  EXPECT_FALSE(q.IsSyntacticallyMonotone());
+  Instance d(Schema{{"E", 2}});
+  EXPECT_TRUE(q.Eval(d).AsBool());
+  d.AddFact("E", MakeTuple({1, 2}));
+  EXPECT_FALSE(q.Eval(d).AsBool());
+}
+
+TEST_F(MiscFixture, ViewSetClassification) {
+  ViewSet mixed;
+  mixed.Add("A", Query::FromCq(Cq("A() :- R(x)")));
+  EXPECT_TRUE(mixed.AllPureCq());
+  EXPECT_TRUE(mixed.AllPureUcq());
+  EXPECT_TRUE(mixed.AllBoolean());
+  EXPECT_TRUE(mixed.AllExistential());
+
+  mixed.Add("B", Query::FromCq(Cq("B(x) :- R(x), x != x")));
+  EXPECT_FALSE(mixed.AllPureCq());
+  EXPECT_FALSE(mixed.AllBoolean());
+
+  FoQuery univ;
+  univ.formula = ParseFo("forall x . R(x)", pool_).value();
+  mixed.Add("C", Query::FromFo(univ));
+  EXPECT_FALSE(mixed.AllExistential());
+  EXPECT_EQ(mixed.OutputSchema().ToString(), "{A/0, B/1, C/0}");
+}
+
+TEST_F(MiscFixture, SplitTwinInstanceRoundTrip) {
+  Schema base{{"E", 2}};
+  ViewSet views;
+  views.Add("V", Query::FromCq(Cq("V(x, y) :- E(x, y)")));
+  TwinEncoding encoding =
+      BuildTwinEncoding(views, Query::FromCq(Cq("Q(x) :- E(x, x)")), base);
+
+  Instance twin(encoding.twin_schema);
+  twin.AddFact("one_E", MakeTuple({1, 2}));
+  twin.AddFact("two_E", MakeTuple({3, 4}));
+  auto [d1, d2] = SplitTwinInstance(encoding, base, twin);
+  EXPECT_TRUE(d1.HasFact("E", MakeTuple({1, 2})));
+  EXPECT_TRUE(d2.HasFact("E", MakeTuple({3, 4})));
+  EXPECT_EQ(d1.TupleCount(), 1u);
+  EXPECT_EQ(d2.TupleCount(), 1u);
+}
+
+TEST_F(MiscFixture, SimplifyDoubleNegation) {
+  FoPtr f = ParseFo("!(!(R(x)))", pool_).value();
+  EXPECT_EQ(SimplifyDoubleNegation(f)->ToString(), "R(x)");
+  FoPtr g = ParseFo("!(!(!(R(x))))", pool_).value();
+  EXPECT_EQ(SimplifyDoubleNegation(g)->ToString(), "!(R(x))");
+}
+
+TEST_F(MiscFixture, SoAssignmentBudgetEnforced) {
+  // Small tuple pools but many relation variables: the product crosses
+  // max_assignments.
+  SoQuery q;
+  q.existential = true;
+  for (int i = 0; i < 4; ++i) {
+    q.relation_vars.push_back({"S" + std::to_string(i), 1});
+  }
+  q.matrix.formula = ParseFo("exists x . S0(x)", pool_).value();
+  Instance d(Schema{{"P", 1}});
+  for (int i = 1; i <= 6; ++i) d.AddFact("P", Tuple{Value(i)});
+  SoBudget budget;
+  budget.max_assignments = 100;  // 2^6 per variable, 2^24 total
+  EXPECT_FALSE(EvaluateSo(q, d, budget).ok());
+}
+
+TEST_F(MiscFixture, MinimizeUcqSingleDisjunct) {
+  auto q = ParseUcq("Q(x) :- A(x), A(x)", pool_).value();
+  UnionQuery min = MinimizeUcq(q);
+  ASSERT_EQ(min.disjuncts().size(), 1u);
+  EXPECT_EQ(min.disjuncts()[0].atoms().size(), 1u);
+}
+
+TEST_F(MiscFixture, SearchBudgetExhaustedVerdict) {
+  Schema base{{"E", 2}};
+  ViewSet views;
+  views.Add("V", Query::FromCq(Cq("V(x, y) :- E(x, y)")));
+  Query q = Query::FromCq(Cq("Q(x) :- E(x, x)"));
+  EnumerationOptions options;
+  options.domain_size = 2;
+  options.max_instances = 3;  // cannot cover 16 instances
+  auto search = SearchDeterminacyCounterexample(views, q, base, options);
+  EXPECT_EQ(search.verdict, SearchVerdict::kBudgetExhausted);
+}
+
+TEST_F(MiscFixture, ChainAndStarAndCycleGenerators) {
+  EXPECT_EQ(ChainQuery(3).atoms().size(), 3u);
+  EXPECT_EQ(ChainQuery(3).head_arity(), 2);
+  EXPECT_EQ(StarQuery(4).atoms().size(), 4u);
+  EXPECT_EQ(CycleQuery(5).atoms().size(), 5u);
+  EXPECT_EQ(CycleQuery(5).head_arity(), 0);
+  EXPECT_EQ(PathInstance(6).Get("E").size(), 5u);
+  EXPECT_EQ(PathViews(3).size(), 3u);
+}
+
+TEST_F(MiscFixture, UcqParserRejectsMixedHeads) {
+  EXPECT_FALSE(ParseUcq("Q(x) :- A(x) | R(x) :- B(x)", pool_).ok());
+  EXPECT_FALSE(ParseUcq("Q(x) :- A(x) | Q(x, y) :- B(x, y)", pool_).ok());
+}
+
+TEST_F(MiscFixture, PropositionViewsInViewImages) {
+  ViewSet views;
+  views.Add("Flag", Query::FromCq(Cq("Flag() :- E(x, y)")));
+  Instance d(Schema{{"E", 2}});
+  EXPECT_FALSE(views.Apply(d).Get("Flag").AsBool());
+  d.AddFact("E", MakeTuple({1, 2}));
+  EXPECT_TRUE(views.Apply(d).Get("Flag").AsBool());
+}
+
+}  // namespace
+}  // namespace vqdr

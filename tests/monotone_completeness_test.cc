@@ -1,0 +1,128 @@
+// Corollaries 5.6 / 5.9 / 5.13, demonstrated: on the paper's witness pairs
+// V(D₁) ⊆ V(D₂), so *every* monotone rewriting M satisfies
+// M(V(D₁)) ⊆ M(V(D₂)); since Q(D₁) ⊄ Q(D₂), no monotone M can equal Q_V.
+// These tests exercise the argument with concrete candidates from each
+// monotone language (CQ, UCQ, Datalog≠) and with the generic inclusion.
+
+#include <gtest/gtest.h>
+
+#include "cq/matcher.h"
+#include "cq/parser.h"
+#include "datalog/program.h"
+#include "reductions/counterexamples.h"
+
+namespace vqdr {
+namespace {
+
+class MonotoneCompleteness : public ::testing::Test {
+ protected:
+  NamePool pool_;
+};
+
+TEST_F(MonotoneCompleteness, Prop58EveryMonotoneCandidateFails) {
+  NonMonotonicityFamily family = Prop58Family(pool_);
+  const Instance& s1 = family.witness.view_image1;
+  const Instance& s2 = family.witness.view_image2;
+  ASSERT_TRUE(s1.IsSubInstanceOf(s2));
+  Relation q1 = family.query.Eval(family.witness.d1);
+  Relation q2 = family.query.Eval(family.witness.d2);
+  ASSERT_FALSE(q1.IsSubsetOf(q2));
+
+  // A spread of natural monotone candidates over the view schema; each is
+  // correct on ONE side at most, and monotonicity dooms all of them.
+  std::vector<std::string> cq_candidates = {
+      "M(x) :- V1(x)",
+      "M(x) :- V2(x)",
+      "M(x) :- V1(x), V2(x)",
+      "M(x) :- V2(x), V3(y)",
+  };
+  for (const std::string& text : cq_candidates) {
+    ConjunctiveQuery m = ParseCq(text, pool_).value();
+    Relation m1 = EvaluateCq(m, s1);
+    Relation m2 = EvaluateCq(m, s2);
+    // The structural fact: monotone in the images.
+    EXPECT_TRUE(m1.IsSubsetOf(m2)) << text;
+    // Hence cannot match Q on both sides.
+    EXPECT_FALSE(m1 == q1 && m2 == q2) << text << " would rewrite Q";
+  }
+
+  // A UCQ candidate (the "obvious" attempt: V1 ∪ (V2 minus R — but minus
+  // is not monotone, so the closest UCQ is V1 ∪ V2):
+  UnionQuery ucq =
+      ParseUcq("M(x) :- V1(x) | M(x) :- V2(x)", pool_).value();
+  Relation u1 = EvaluateUcq(ucq, s1);
+  Relation u2 = EvaluateUcq(ucq, s2);
+  EXPECT_TRUE(u1.IsSubsetOf(u2));
+  EXPECT_FALSE(u1 == q1 && u2 == q2);
+
+  // A recursive Datalog≠ candidate.
+  DatalogProgram dl =
+      ParseDatalog("M(x) :- V2(x); M(x) :- V1(x), V3(y), x != y", pool_)
+          .value();
+  Relation d1 = dl.Query(s1, "M").value();
+  Relation d2 = dl.Query(s2, "M").value();
+  EXPECT_TRUE(d1.IsSubsetOf(d2));
+  EXPECT_FALSE(d1 == q1 && d2 == q2);
+}
+
+TEST_F(MonotoneCompleteness, Prop58TheCorrectRewritingIsNonMonotone) {
+  // The paper's Q_V: if V3 (=R) is nonempty use V1, else use V2 — genuinely
+  // case-splitting on emptiness, i.e. non-monotone. Encoded as a computable
+  // query, it rewrites Q exactly on both witnesses.
+  NonMonotonicityFamily family = Prop58Family(pool_);
+  Query qv = Query::FromFunction(
+      1,
+      [](const Instance& s) {
+        if (!s.Get("V3").empty()) return s.Get("V1");
+        return s.Get("V2");
+      },
+      "if V3 != {} then V1 else V2");
+
+  for (const Instance* d :
+       {&family.witness.d1, &family.witness.d2}) {
+    Instance image = family.views.Apply(*d);
+    EXPECT_EQ(qv.Eval(image), family.query.Eval(*d));
+  }
+  EXPECT_FALSE(qv.IsSyntacticallyMonotone());
+}
+
+TEST_F(MonotoneCompleteness, Prop512TheCorrectRewritingIsNonMonotone) {
+  // Prop 5.12's Q_V = (V1 ∧ ¬V2) ∨ V3 — again non-monotone, again exact on
+  // the witnesses.
+  NonMonotonicityFamily family = Prop512Family(pool_);
+  Query qv = Query::FromFunction(
+      1,
+      [](const Instance& s) {
+        Relation result = s.Get("V1").Difference(s.Get("V2"));
+        return result.Union(s.Get("V3"));
+      },
+      "(V1 and not V2) or V3");
+
+  for (const Instance* d :
+       {&family.witness.d1, &family.witness.d2}) {
+    Instance image = family.views.Apply(*d);
+    EXPECT_EQ(qv.Eval(image), family.query.Eval(*d));
+  }
+}
+
+TEST_F(MonotoneCompleteness, Prop512MonotoneCandidatesFail) {
+  NonMonotonicityFamily family = Prop512Family(pool_);
+  const Instance& s1 = family.witness.view_image1;
+  const Instance& s2 = family.witness.view_image2;
+  ASSERT_TRUE(s1.IsSubInstanceOf(s2));
+  Relation q1 = family.query.Eval(family.witness.d1);
+  Relation q2 = family.query.Eval(family.witness.d2);
+  ASSERT_FALSE(q1.IsSubsetOf(q2));
+
+  for (const std::string text :
+       {"M(x) :- V1(x)", "M(x) :- V3(x)", "M(x) :- V1(x), V2(x)"}) {
+    ConjunctiveQuery m = ParseCq(text, pool_).value();
+    Relation m1 = EvaluateCq(m, s1);
+    Relation m2 = EvaluateCq(m, s2);
+    EXPECT_TRUE(m1.IsSubsetOf(m2)) << text;
+    EXPECT_FALSE(m1 == q1 && m2 == q2) << text;
+  }
+}
+
+}  // namespace
+}  // namespace vqdr

@@ -1,0 +1,565 @@
+// Tests for the paper's reductions: the monoid word-problem reduction
+// (Theorem 4.5), the Turing-machine construction (Theorem 5.1), the GIMP
+// construction (Theorem 5.4), the Prop 4.1 reductions, the order-view
+// constructions (Example 3.2 / Prop 5.7) and the non-monotonicity families
+// (Props 5.8 / 5.12).
+
+#include <gtest/gtest.h>
+
+#include "core/finite_search.h"
+#include "core/query_answering.h"
+#include "cq/matcher.h"
+#include "cq/parser.h"
+#include "fo/evaluator.h"
+#include "fo/parser.h"
+#include "reductions/counterexamples.h"
+#include "reductions/gimp.h"
+#include "reductions/monoid.h"
+#include "reductions/order_views.h"
+#include "reductions/sat_reductions.h"
+#include "reductions/turing.h"
+
+namespace vqdr {
+namespace {
+
+class ReductionsFixture : public ::testing::Test {
+ protected:
+  Instance Db(const std::string& text, const Schema& schema) {
+    auto d = ParseInstance(text, schema, pool_);
+    EXPECT_TRUE(d.ok()) << d.status().message();
+    return d.value();
+  }
+
+  NamePool pool_;
+};
+
+// ---- Theorem 4.5: monoid reduction ----
+
+TEST_F(ReductionsFixture, MonoidViewsAreUcq) {
+  for (bool use_equality : {true, false}) {
+    ViewSet views = MonoidViews(use_equality);
+    EXPECT_GE(views.size(), 6u);
+    for (const View& v : views.views()) {
+      // Each view is a CQ or UCQ; the equality-free variant is pure.
+      EXPECT_TRUE(v.query.language() == Query::Language::kCq ||
+                  v.query.language() == Query::Language::kUcq);
+      if (!use_equality) {
+        EXPECT_TRUE(v.query.IsSyntacticallyMonotone());
+      }
+    }
+  }
+}
+
+TEST_F(ReductionsFixture, MonoidQueryIsSafeUcq) {
+  WordProblem commutativity;
+  commutativity.hypotheses = {{"a", "b", "c"}, {"b", "a", "d"}};
+  commutativity.lhs = "c";
+  commutativity.rhs = "d";
+  for (bool use_equality : {true, false}) {
+    UnionQuery q = MonoidQuery(commutativity, use_equality);
+    EXPECT_TRUE(q.IsSafe());
+    EXPECT_EQ(q.head_arity(), 2);
+    EXPECT_EQ(q.disjuncts().size(), 11u);  // 9 adom² + p1-branch + p2-branch
+  }
+}
+
+TEST_F(ReductionsFixture, MonoidalSearchRefutesCommutativity) {
+  // "ab = c, ba = d ⊨ c = d" fails over monoidal functions (non-abelian
+  // ones exist); the bounded search finds a counterexample.
+  WordProblem commutativity;
+  commutativity.hypotheses = {{"a", "b", "c"}, {"b", "a", "d"}};
+  commutativity.lhs = "c";
+  commutativity.rhs = "d";
+  MonoidalSearchResult search =
+      SearchMonoidalCounterexample(commutativity, /*max_size=*/3);
+  ASSERT_FALSE(search.implies_up_to_bound);
+  EXPECT_GT(search.monoidal_functions, 0u);
+
+  // The counterexample's table is complete, onto, associative and violates
+  // F under the assignment.
+  const MonoidalCounterexample& ce = *search.counterexample;
+  int n = ce.size;
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      for (int c = 0; c < n; ++c) {
+        EXPECT_EQ(ce.table[ce.table[a * n + b] * n + c],
+                  ce.table[a * n + ce.table[b * n + c]]);
+      }
+    }
+  }
+}
+
+TEST_F(ReductionsFixture, MonoidalSearchConfirmsTrivialImplication) {
+  // "ab = c ⊨ ab = c" holds trivially.
+  WordProblem trivial;
+  trivial.hypotheses = {{"a", "b", "c"}, {"a", "b", "d"}};
+  trivial.lhs = "c";
+  trivial.rhs = "d";
+  // c and d are both f(a,b), so functionality forces c = d.
+  MonoidalSearchResult search = SearchMonoidalCounterexample(trivial, 3);
+  EXPECT_TRUE(search.implies_up_to_bound);
+}
+
+TEST_F(ReductionsFixture, MonoidCounterexampleRefutesDeterminacy) {
+  // The end-to-end reduction property on a concrete witness: when H does
+  // not imply F, the derived pair (D1, D2) has equal view images and
+  // different Q_{H,F} answers — for both view variants.
+  WordProblem commutativity;
+  commutativity.hypotheses = {{"a", "b", "c"}, {"b", "a", "d"}};
+  commutativity.lhs = "c";
+  commutativity.rhs = "d";
+  MonoidalSearchResult search = SearchMonoidalCounterexample(commutativity, 3);
+  ASSERT_FALSE(search.implies_up_to_bound);
+  DeterminacyCounterexample pair =
+      MonoidCounterexampleToInstances(*search.counterexample);
+
+  for (bool use_equality : {true, false}) {
+    ViewSet views = MonoidViews(use_equality);
+    UnionQuery q = MonoidQuery(commutativity, use_equality);
+    EXPECT_EQ(views.Apply(pair.d1).ToKey(), views.Apply(pair.d2).ToKey())
+        << "view variant eq=" << use_equality;
+    EXPECT_NE(EvaluateUcq(q, pair.d1), EvaluateUcq(q, pair.d2))
+        << "query variant eq=" << use_equality;
+  }
+}
+
+TEST_F(ReductionsFixture, MonoidImplicationPreservesDeterminacyOnWitness) {
+  // For an implication that HOLDS (functionality merges c and d), any
+  // monoidal graph extended with p1 vs p2 yields equal answers.
+  WordProblem trivial;
+  trivial.hypotheses = {{"a", "b", "c"}, {"a", "b", "d"}};
+  trivial.lhs = "c";
+  trivial.rhs = "d";
+  ASSERT_TRUE(SearchMonoidalCounterexample(trivial, 3).implies_up_to_bound);
+
+  // Use the 2-element cyclic group as a monoidal function.
+  MonoidalCounterexample z2;
+  z2.size = 2;
+  z2.table = {0, 1, 1, 0};
+  DeterminacyCounterexample pair = MonoidCounterexampleToInstances(z2);
+  for (bool use_equality : {true, false}) {
+    ViewSet views = MonoidViews(use_equality);
+    UnionQuery q = MonoidQuery(trivial, use_equality);
+    ASSERT_EQ(views.Apply(pair.d1).ToKey(), views.Apply(pair.d2).ToKey());
+    EXPECT_EQ(EvaluateUcq(q, pair.d1), EvaluateUcq(q, pair.d2));
+  }
+}
+
+// ---- Theorem 5.1: Turing construction ----
+
+TEST_F(ReductionsFixture, TmRunComplement) {
+  SimpleTm tm = ComplementTm();
+  auto run = tm.Run("0110", 100, 100);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->back().tape.substr(0, 4), "1001");
+}
+
+TEST_F(ReductionsFixture, TmHangsWithoutTransition) {
+  SimpleTm tm(/*start=*/0, /*halt=*/{1});
+  EXPECT_FALSE(tm.Run("0", 10, 10).ok());
+}
+
+TEST_F(ReductionsFixture, EncodeDecodeGraphRoundTrip) {
+  Relation edges(2, {MakeTuple({1, 2}), MakeTuple({2, 2})});
+  std::vector<Value> ranked{Value(1), Value(2)};
+  std::string enc = EncodeGraph(edges, ranked);
+  EXPECT_EQ(enc, "0101");  // (1,2) and (2,2)
+  EXPECT_EQ(DecodeGraph(enc, ranked), edges);
+}
+
+TEST_F(ReductionsFixture, ComputationInstanceVerifies) {
+  SimpleTm tm = ComplementTm();
+  Relation graph(2, {MakeTuple({1, 2})});
+  auto instance = BuildComputationInstance(tm, graph);
+  ASSERT_TRUE(instance.ok()) << instance.status().message();
+  EXPECT_TRUE(VerifyComputationInstance(tm, instance.value()));
+  // R2 holds the complement within adom.
+  EXPECT_EQ(instance->Get("R2"), ComplementWithinAdom(graph));
+}
+
+TEST_F(ReductionsFixture, CorruptedComputationRejected) {
+  SimpleTm tm = ComplementTm();
+  Relation graph(2, {MakeTuple({1, 2})});
+  auto instance = BuildComputationInstance(tm, graph);
+  ASSERT_TRUE(instance.ok());
+
+  // Tamper with the output.
+  Instance wrong_output = instance.value();
+  wrong_output.GetMutable("R2").Insert(MakeTuple({1, 2}));
+  EXPECT_FALSE(VerifyComputationInstance(tm, wrong_output));
+
+  // Tamper with the trace.
+  Instance wrong_trace = instance.value();
+  Relation& t = wrong_trace.GetMutable("T");
+  Tuple first = t.tuples().front();
+  t.Erase(first);
+  EXPECT_FALSE(VerifyComputationInstance(tm, wrong_trace));
+
+  // Break the order.
+  Instance wrong_order = instance.value();
+  Relation& le = wrong_order.GetMutable("Le");
+  le.Erase(le.tuples().front());
+  EXPECT_FALSE(VerifyComputationInstance(tm, wrong_order));
+}
+
+TEST_F(ReductionsFixture, TuringViewDeterminesQueryOnComputationInstances) {
+  // Theorem 5.1's heart: Q = q ∘ V. Two valid computation instances with
+  // the same R1 (different padding) get the same Q; and Q(D) equals the
+  // machine's query applied to V(D).
+  SimpleTm tm = ComplementTm();
+  ViewSet views = TuringViews(tm);
+  Query q = TuringQuery(tm);
+
+  Relation graph(2, {MakeTuple({1, 2}), MakeTuple({2, 1})});
+  auto d1 = BuildComputationInstance(tm, graph);
+  auto d2 = BuildComputationInstance(tm, graph, /*extra_elements=*/9);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok()) << d2.status().message();
+
+  Instance s1 = views.Apply(d1.value());
+  Instance s2 = views.Apply(d2.value());
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(q.Eval(d1.value()), q.Eval(d2.value()));
+  EXPECT_EQ(q.Eval(d1.value()), ComplementWithinAdom(s1.Get("VR1")));
+}
+
+TEST_F(ReductionsFixture, TuringViewEmptyOnInvalidInstances) {
+  SimpleTm tm = ComplementTm();
+  ViewSet views = TuringViews(tm);
+  Query q = TuringQuery(tm);
+  Instance junk(TuringSchema());
+  junk.AddFact("R1", MakeTuple({1, 2}));  // no order, no trace
+  EXPECT_TRUE(views.Apply(junk).Get("VR1").empty());
+  EXPECT_TRUE(q.Eval(junk).empty());
+}
+
+TEST_F(ReductionsFixture, IdentityTmComputesIdentity) {
+  SimpleTm tm = IdentityTm();
+  Relation graph(2, {MakeTuple({1, 2})});
+  auto d = BuildComputationInstance(tm, graph);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(VerifyComputationInstance(tm, d.value()));
+  EXPECT_EQ(d->Get("R2"), graph);
+}
+
+// ---- Proposition 4.1 reductions ----
+
+TEST_F(ReductionsFixture, SatisfiabilityReduction) {
+  Schema sigma{{"P", 1}};
+  // Satisfiable φ: ∃x P(x) → V does not determine Q.
+  FoQuery sat;
+  sat.formula = ParseFo("exists x . P(x)", pool_).value();
+  DeterminacyInstance inst = FromSatisfiability(Query::FromFo(sat), sigma);
+  EnumerationOptions options;
+  options.domain_size = 2;
+  auto search = SearchDeterminacyCounterexample(inst.views, inst.query,
+                                                inst.base, options);
+  EXPECT_EQ(search.verdict, SearchVerdict::kCounterexampleFound);
+
+  // Unsatisfiable φ: determinacy holds (Q is constantly empty).
+  FoQuery unsat;
+  unsat.formula =
+      ParseFo("(exists x . P(x)) & !(exists x . P(x))", pool_).value();
+  DeterminacyInstance inst2 =
+      FromSatisfiability(Query::FromFo(unsat), sigma);
+  auto search2 = SearchDeterminacyCounterexample(inst2.views, inst2.query,
+                                                 inst2.base, options);
+  EXPECT_EQ(search2.verdict, SearchVerdict::kNoneWithinBound);
+}
+
+TEST_F(ReductionsFixture, ValidityReduction) {
+  Schema sigma{{"P", 1}};
+  // Valid φ: determinacy holds (the view equals R).
+  FoQuery valid;
+  valid.formula = ParseFo("forall x . (P(x) -> P(x))", pool_).value();
+  DeterminacyInstance inst = FromValidity(Query::FromFo(valid), sigma);
+  EnumerationOptions options;
+  options.domain_size = 2;
+  auto search = SearchDeterminacyCounterexample(inst.views, inst.query,
+                                                inst.base, options);
+  EXPECT_EQ(search.verdict, SearchVerdict::kNoneWithinBound);
+
+  // Non-valid φ: refuted.
+  FoQuery invalid;
+  invalid.formula = ParseFo("exists x . P(x)", pool_).value();
+  DeterminacyInstance inst2 = FromValidity(Query::FromFo(invalid), sigma);
+  auto search2 = SearchDeterminacyCounterexample(inst2.views, inst2.query,
+                                                 inst2.base, options);
+  EXPECT_EQ(search2.verdict, SearchVerdict::kCounterexampleFound);
+}
+
+// ---- Example 3.2 / Proposition 5.7: order views ----
+
+TEST_F(ReductionsFixture, OrderGuardedQueryOnOrderedInstances) {
+  Schema sigma{{"P", 1}};
+  // φ = "at least 2 elements", phrased with the order (order-invariant).
+  FoQuery phi;
+  phi.formula = ParseFo("exists x, y . Lt(x, y)", pool_).value();
+  Query q = OrderGuardedQuery(phi, sigma, "Lt");
+
+  Schema full = sigma;
+  full.Add("Lt", 2);
+  Instance two = Db("P(a), P(b), Lt(a, b)", full);
+  EXPECT_TRUE(q.Eval(two).AsBool());
+  Instance bad_order = Db("P(a), P(b)", full);  // not total
+  EXPECT_FALSE(q.Eval(bad_order).AsBool());
+}
+
+TEST_F(ReductionsFixture, Example32ViewsDetermineOrderInvariantQuery) {
+  Schema sigma{{"P", 1}};
+  FoQuery phi;
+  phi.formula = ParseFo("exists x, y . Lt(x, y)", pool_).value();
+  ViewSet views = Example32Views(sigma, "Lt");
+  Query q = OrderGuardedQuery(phi, sigma, "Lt");
+
+  Schema full = sigma;
+  full.Add("Lt", 2);
+  EnumerationOptions options;
+  options.domain_size = 2;
+  auto search = SearchDeterminacyCounterexample(views, q, full, options);
+  EXPECT_EQ(search.verdict, SearchVerdict::kNoneWithinBound);
+}
+
+TEST_F(ReductionsFixture, Prop57ViewsDetermineOrderInvariantQuery) {
+  Schema sigma{{"P", 1}};
+  FoQuery phi;
+  phi.formula = ParseFo("exists x, y . Lt(x, y)", pool_).value();
+  ViewSet views = Prop57Views(sigma, "Lt");
+  Query q = OrderGuardedQuery(phi, sigma, "Lt");
+
+  Schema full = sigma;
+  full.Add("Lt", 2);
+  EnumerationOptions options;
+  options.domain_size = 2;
+  auto search = SearchDeterminacyCounterexample(views, q, full, options);
+  EXPECT_EQ(search.verdict, SearchVerdict::kNoneWithinBound);
+}
+
+TEST_F(ReductionsFixture, Prop57ViewsDoNotExposeTheOrder) {
+  // Two instances with the same P and different (valid) orders have the
+  // same view image: the views reveal only order-validity, not the order.
+  Schema sigma{{"P", 1}};
+  ViewSet views = Prop57Views(sigma, "Lt");
+  Schema full = sigma;
+  full.Add("Lt", 2);
+  Instance d1 = Db("P(a), P(b), Lt(a, b)", full);
+  Instance d2 = Db("P(a), P(b), Lt(b, a)", full);
+  EXPECT_EQ(views.Apply(d1), views.Apply(d2));
+}
+
+// ---- Propositions 5.8 / 5.12 ----
+
+TEST_F(ReductionsFixture, Prop58WitnessShowsNonMonotonicity) {
+  NonMonotonicityFamily family = Prop58Family(pool_);
+  // The witness pair: V(D1) ⊆ V(D2) but Q(D1) ⊄ Q(D2).
+  EXPECT_TRUE(family.witness.view_image1.IsSubInstanceOf(
+      family.witness.view_image2));
+  Relation q1 = family.query.Eval(family.witness.d1);
+  Relation q2 = family.query.Eval(family.witness.d2);
+  EXPECT_FALSE(q1.IsSubsetOf(q2));
+}
+
+TEST_F(ReductionsFixture, Prop58ViewsDetermineQuery) {
+  NonMonotonicityFamily family = Prop58Family(pool_);
+  EnumerationOptions options;
+  options.domain_size = 2;
+  auto search = SearchDeterminacyCounterexample(family.views, family.query,
+                                                family.base, options);
+  EXPECT_EQ(search.verdict, SearchVerdict::kNoneWithinBound);
+}
+
+TEST_F(ReductionsFixture, Prop58MonotonicitySearchFindsTheViolation) {
+  NonMonotonicityFamily family = Prop58Family(pool_);
+  EnumerationOptions options;
+  options.domain_size = 2;
+  auto result = SearchMonotonicityViolation(family.views, family.query,
+                                            family.base, options);
+  EXPECT_EQ(result.verdict, SearchVerdict::kCounterexampleFound);
+}
+
+TEST_F(ReductionsFixture, Prop512WitnessShowsNonMonotonicity) {
+  NonMonotonicityFamily family = Prop512Family(pool_);
+  EXPECT_TRUE(family.witness.view_image1.IsSubInstanceOf(
+      family.witness.view_image2));
+  Relation q1 = family.query.Eval(family.witness.d1);
+  Relation q2 = family.query.Eval(family.witness.d2);
+  EXPECT_FALSE(q1.IsSubsetOf(q2));
+}
+
+TEST_F(ReductionsFixture, Prop512ViewsDetermineQuery) {
+  NonMonotonicityFamily family = Prop512Family(pool_);
+  EnumerationOptions options;
+  options.domain_size = 3;  // the phenomena need 2–3 elements
+  options.max_instances = 1ull << 21;
+  auto search = SearchDeterminacyCounterexample(family.views, family.query,
+                                                family.base, options);
+  EXPECT_EQ(search.verdict, SearchVerdict::kNoneWithinBound);
+}
+
+TEST_F(ReductionsFixture, Prop512MonotonicitySearchFindsTheViolation) {
+  NonMonotonicityFamily family = Prop512Family(pool_);
+  EnumerationOptions options;
+  options.domain_size = 2;
+  auto result = SearchMonotonicityViolation(family.views, family.query,
+                                            family.base, options);
+  EXPECT_EQ(result.verdict, SearchVerdict::kCounterexampleFound);
+}
+
+// ---- Theorem 5.4: GIMP ----
+
+TEST_F(ReductionsFixture, ParityPhiImplicitlyDefinesEven) {
+  auto gimp = BuildParityGimp();
+  ASSERT_TRUE(gimp.ok()) << gimp.status().message();
+  const GimpConstruction& g = gimp->construction;
+
+  // For U of sizes 0..3: completing a correct (T, Ord, Alt) assignment
+  // satisfies Q consistently with parity; wrong T makes Q false.
+  for (int n = 0; n <= 3; ++n) {
+    Instance d_tau(Schema{{"U", 1}});
+    for (int i = 1; i <= n; ++i) d_tau.AddFact("U", Tuple{Value(i)});
+
+    Instance d_prime(g.tau_prime());
+    d_prime.Set("U", d_tau.Get("U"));
+    // Ord: natural order; Alt: odd positions.
+    for (int i = 1; i <= n; ++i) {
+      for (int j = i + 1; j <= n; ++j) {
+        d_prime.AddFact("Ord", Tuple{Value(i), Value(j)});
+      }
+      if (i % 2 == 1) d_prime.AddFact("Alt", Tuple{Value(i)});
+    }
+    bool even = n % 2 == 0;
+    d_prime.GetMutable("T").SetBool(even);
+
+    Instance complete = g.CompleteInstance(d_prime);
+    EXPECT_TRUE(FoSentenceHolds(g.psi(), complete)) << "n=" << n;
+    Relation q_answer = g.query().Eval(complete);
+    EXPECT_EQ(q_answer.AsBool(), even) << "n=" << n;
+
+    // Flipping T falsifies φ, so Q returns empty regardless of parity.
+    Instance wrong = d_prime;
+    wrong.GetMutable("T").SetBool(!even);
+    Instance complete_wrong = g.CompleteInstance(wrong);
+    EXPECT_FALSE(g.query().Eval(complete_wrong).AsBool()) << "n=" << n;
+  }
+}
+
+TEST_F(ReductionsFixture, GimpViewsShowOnlyPatterns) {
+  // The views on a correctly-completed instance: every Vint view is empty
+  // and every Vuni view is full — and crucially the view image does not
+  // reveal T beyond the root bit.
+  auto gimp = BuildParityGimp();
+  ASSERT_TRUE(gimp.ok());
+  const GimpConstruction& g = gimp->construction;
+
+  Instance d_prime(g.tau_prime());
+  d_prime.AddFact("U", Tuple{Value(1)});
+  d_prime.AddFact("U", Tuple{Value(2)});
+  d_prime.AddFact("Ord", Tuple{Value(1), Value(2)});
+  d_prime.AddFact("Alt", Tuple{Value(1)});
+  d_prime.GetMutable("T").SetBool(true);  // |U| = 2 even
+
+  Instance complete = g.CompleteInstance(d_prime);
+  Instance image = g.views().Apply(complete);
+
+  std::set<Value> adom = complete.ActiveDomain();
+  for (const View& v : g.views().views()) {
+    const Relation& answer = image.Get(v.name);
+    if (v.name.rfind("Vint", 0) == 0) {
+      EXPECT_TRUE(answer.empty()) << v.name;
+    } else if (v.name.rfind("Vuni", 0) == 0 ||
+               v.name.rfind("Vexu", 0) == 0) {
+      std::size_t expected = 1;
+      for (int i = 0; i < answer.arity(); ++i) expected *= adom.size();
+      EXPECT_EQ(answer.size(), expected) << v.name;
+    } else if (v.name.rfind("Vand", 0) == 0 || v.name.rfind("Vex", 0) == 0) {
+      EXPECT_TRUE(answer.empty()) << v.name;
+    }
+  }
+  // The root bit equals φ's value (true here).
+  EXPECT_TRUE(image.Get("Vphi").AsBool());
+}
+
+TEST_F(ReductionsFixture, GimpQvComputesParityThroughViews) {
+  // Q_V demonstration: two correctly-completed instances over the same U
+  // but different orders have the same view image and the same Q — the
+  // views determine parity without revealing the order.
+  auto gimp = BuildParityGimp();
+  ASSERT_TRUE(gimp.ok());
+  const GimpConstruction& g = gimp->construction;
+
+  auto build = [&](const std::vector<int>& order) {
+    Instance d_prime(g.tau_prime());
+    int n = static_cast<int>(order.size());
+    for (int i = 1; i <= n; ++i) d_prime.AddFact("U", Tuple{Value(i)});
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        d_prime.AddFact("Ord", Tuple{Value(order[i]), Value(order[j])});
+      }
+      if (i % 2 == 0) d_prime.AddFact("Alt", Tuple{Value(order[i])});
+    }
+    d_prime.GetMutable("T").SetBool(n % 2 == 0);
+    return g.CompleteInstance(d_prime);
+  };
+
+  Instance c1 = build({1, 2, 3});
+  Instance c2 = build({3, 1, 2});
+  EXPECT_EQ(g.views().Apply(c1), g.views().Apply(c2));
+  EXPECT_EQ(g.query().Eval(c1), g.query().Eval(c2));
+  EXPECT_FALSE(g.query().Eval(c1).AsBool());  // |U| = 3 odd
+}
+
+TEST_F(ReductionsFixture, GimpIdentityQueryConstruction) {
+  // A second GIMP instance: the identity query T = U, implicitly defined
+  // by φ = ∀x (T(x) ↔ U(x)) with no auxiliary S̄ at all. Exercises unary T
+  // and the equality-free path of the builder.
+  FoPtr phi = ParseFo("forall x . (T(x) <-> U(x))", pool_).value();
+  auto construction = GimpConstruction::Build(
+      phi, Schema{{"U", 1}}, RelationDecl{"T", 1}, {});
+  ASSERT_TRUE(construction.ok()) << construction.status().message();
+  const GimpConstruction& g = construction.value();
+
+  Instance d_prime(g.tau_prime());
+  d_prime.AddFact("U", Tuple{Value(1)});
+  d_prime.AddFact("U", Tuple{Value(2)});
+  d_prime.AddFact("T", Tuple{Value(1)});
+  d_prime.AddFact("T", Tuple{Value(2)});
+  Instance complete = g.CompleteInstance(d_prime);
+  EXPECT_TRUE(FoSentenceHolds(g.psi(), complete));
+  Relation answer = g.query().Eval(complete);
+  EXPECT_EQ(answer, complete.Get("U"));
+
+  // A wrong T falsifies φ: empty answer.
+  Instance wrong = d_prime;
+  wrong.GetMutable("T").Erase(Tuple{Value(2)});
+  EXPECT_TRUE(g.query().Eval(g.CompleteInstance(wrong)).empty());
+}
+
+TEST_F(ReductionsFixture, GimpBuildRejectsBadInput) {
+  // Free variables in φ.
+  FoPtr open_phi = ParseFo("T(x)", pool_).value();
+  EXPECT_FALSE(GimpConstruction::Build(open_phi, Schema{{"U", 1}},
+                                       RelationDecl{"T", 1}, {})
+                   .ok());
+  // Unknown relation.
+  FoPtr unknown = ParseFo("forall x . (T(x) <-> W(x))", pool_).value();
+  EXPECT_FALSE(GimpConstruction::Build(unknown, Schema{{"U", 1}},
+                                       RelationDecl{"T", 1}, {})
+                   .ok());
+}
+
+TEST_F(ReductionsFixture, GimpViewSchemasAreUcqOnly) {
+  auto gimp = BuildParityGimp();
+  ASSERT_TRUE(gimp.ok());
+  for (const View& v : gimp->construction.views().views()) {
+    EXPECT_TRUE(v.query.language() == Query::Language::kCq ||
+                v.query.language() == Query::Language::kUcq)
+        << v.name;
+    EXPECT_TRUE(v.query.IsSyntacticallyMonotone()) << v.name;
+  }
+  // The query is FO (not weaker): the lower bound needs ψ's universals.
+  EXPECT_EQ(gimp->construction.query().language(), Query::Language::kFo);
+  EXPECT_FALSE(gimp->construction.query().IsExistential());
+}
+
+}  // namespace
+}  // namespace vqdr
