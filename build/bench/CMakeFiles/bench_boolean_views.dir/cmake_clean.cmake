@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_boolean_views.dir/bench_boolean_views.cc.o"
+  "CMakeFiles/bench_boolean_views.dir/bench_boolean_views.cc.o.d"
+  "bench_boolean_views"
+  "bench_boolean_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boolean_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

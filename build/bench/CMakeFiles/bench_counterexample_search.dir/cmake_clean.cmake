@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_counterexample_search.dir/bench_counterexample_search.cc.o"
+  "CMakeFiles/bench_counterexample_search.dir/bench_counterexample_search.cc.o.d"
+  "bench_counterexample_search"
+  "bench_counterexample_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counterexample_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

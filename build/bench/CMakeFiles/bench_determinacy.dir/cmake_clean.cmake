@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_determinacy.dir/bench_determinacy.cc.o"
+  "CMakeFiles/bench_determinacy.dir/bench_determinacy.cc.o.d"
+  "bench_determinacy"
+  "bench_determinacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_determinacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

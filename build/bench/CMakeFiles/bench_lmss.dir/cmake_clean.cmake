@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lmss.dir/bench_lmss.cc.o"
+  "CMakeFiles/bench_lmss.dir/bench_lmss.cc.o.d"
+  "bench_lmss"
+  "bench_lmss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lmss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monoid.dir/bench_monoid.cc.o"
+  "CMakeFiles/bench_monoid.dir/bench_monoid.cc.o.d"
+  "bench_monoid"
+  "bench_monoid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monoid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_order_invariance.dir/bench_order_invariance.cc.o"
+  "CMakeFiles/bench_order_invariance.dir/bench_order_invariance.cc.o.d"
+  "bench_order_invariance"
+  "bench_order_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_order_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_answering.dir/bench_query_answering.cc.o"
+  "CMakeFiles/bench_query_answering.dir/bench_query_answering.cc.o.d"
+  "bench_query_answering"
+  "bench_query_answering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_answering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

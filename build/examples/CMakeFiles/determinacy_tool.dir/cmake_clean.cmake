@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinacy_tool.dir/determinacy_tool.cpp.o"
+  "CMakeFiles/determinacy_tool.dir/determinacy_tool.cpp.o.d"
+  "determinacy_tool"
+  "determinacy_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinacy_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monoid_explorer.dir/monoid_explorer.cpp.o"
+  "CMakeFiles/monoid_explorer.dir/monoid_explorer.cpp.o.d"
+  "monoid_explorer"
+  "monoid_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monoid_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_replication.dir/paper_replication.cpp.o"
+  "CMakeFiles/paper_replication.dir/paper_replication.cpp.o.d"
+  "paper_replication"
+  "paper_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

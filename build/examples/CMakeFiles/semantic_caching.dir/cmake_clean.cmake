@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_caching.dir/semantic_caching.cpp.o"
+  "CMakeFiles/semantic_caching.dir/semantic_caching.cpp.o.d"
+  "semantic_caching"
+  "semantic_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

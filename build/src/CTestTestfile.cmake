@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("data")
+subdirs("cq")
+subdirs("fo")
+subdirs("so")
+subdirs("datalog")
+subdirs("views")
+subdirs("chase")
+subdirs("gen")
+subdirs("core")
+subdirs("reductions")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqdr_base.dir/check.cc.o"
+  "CMakeFiles/vqdr_base.dir/check.cc.o.d"
+  "CMakeFiles/vqdr_base.dir/string_util.cc.o"
+  "CMakeFiles/vqdr_base.dir/string_util.cc.o.d"
+  "libvqdr_base.a"
+  "libvqdr_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqdr_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqdr_chase.dir/chain.cc.o"
+  "CMakeFiles/vqdr_chase.dir/chain.cc.o.d"
+  "CMakeFiles/vqdr_chase.dir/view_inverse.cc.o"
+  "CMakeFiles/vqdr_chase.dir/view_inverse.cc.o.d"
+  "libvqdr_chase.a"
+  "libvqdr_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqdr_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvqdr_chase.a"
+)

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/boolean_views.cc" "src/core/CMakeFiles/vqdr_core_lib.dir/boolean_views.cc.o" "gcc" "src/core/CMakeFiles/vqdr_core_lib.dir/boolean_views.cc.o.d"
+  "/root/repo/src/core/determinacy.cc" "src/core/CMakeFiles/vqdr_core_lib.dir/determinacy.cc.o" "gcc" "src/core/CMakeFiles/vqdr_core_lib.dir/determinacy.cc.o.d"
+  "/root/repo/src/core/finite_search.cc" "src/core/CMakeFiles/vqdr_core_lib.dir/finite_search.cc.o" "gcc" "src/core/CMakeFiles/vqdr_core_lib.dir/finite_search.cc.o.d"
+  "/root/repo/src/core/genericity.cc" "src/core/CMakeFiles/vqdr_core_lib.dir/genericity.cc.o" "gcc" "src/core/CMakeFiles/vqdr_core_lib.dir/genericity.cc.o.d"
+  "/root/repo/src/core/query_answering.cc" "src/core/CMakeFiles/vqdr_core_lib.dir/query_answering.cc.o" "gcc" "src/core/CMakeFiles/vqdr_core_lib.dir/query_answering.cc.o.d"
+  "/root/repo/src/core/reference_rewriter.cc" "src/core/CMakeFiles/vqdr_core_lib.dir/reference_rewriter.cc.o" "gcc" "src/core/CMakeFiles/vqdr_core_lib.dir/reference_rewriter.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/vqdr_core_lib.dir/report.cc.o" "gcc" "src/core/CMakeFiles/vqdr_core_lib.dir/report.cc.o.d"
+  "/root/repo/src/core/rewriting.cc" "src/core/CMakeFiles/vqdr_core_lib.dir/rewriting.cc.o" "gcc" "src/core/CMakeFiles/vqdr_core_lib.dir/rewriting.cc.o.d"
+  "/root/repo/src/core/twin_encoding.cc" "src/core/CMakeFiles/vqdr_core_lib.dir/twin_encoding.cc.o" "gcc" "src/core/CMakeFiles/vqdr_core_lib.dir/twin_encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chase/CMakeFiles/vqdr_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/vqdr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/vqdr_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/so/CMakeFiles/vqdr_so.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/vqdr_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/vqdr_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vqdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vqdr_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/vqdr_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

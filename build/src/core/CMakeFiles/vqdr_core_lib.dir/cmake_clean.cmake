@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqdr_core_lib.dir/boolean_views.cc.o"
+  "CMakeFiles/vqdr_core_lib.dir/boolean_views.cc.o.d"
+  "CMakeFiles/vqdr_core_lib.dir/determinacy.cc.o"
+  "CMakeFiles/vqdr_core_lib.dir/determinacy.cc.o.d"
+  "CMakeFiles/vqdr_core_lib.dir/finite_search.cc.o"
+  "CMakeFiles/vqdr_core_lib.dir/finite_search.cc.o.d"
+  "CMakeFiles/vqdr_core_lib.dir/genericity.cc.o"
+  "CMakeFiles/vqdr_core_lib.dir/genericity.cc.o.d"
+  "CMakeFiles/vqdr_core_lib.dir/query_answering.cc.o"
+  "CMakeFiles/vqdr_core_lib.dir/query_answering.cc.o.d"
+  "CMakeFiles/vqdr_core_lib.dir/reference_rewriter.cc.o"
+  "CMakeFiles/vqdr_core_lib.dir/reference_rewriter.cc.o.d"
+  "CMakeFiles/vqdr_core_lib.dir/report.cc.o"
+  "CMakeFiles/vqdr_core_lib.dir/report.cc.o.d"
+  "CMakeFiles/vqdr_core_lib.dir/rewriting.cc.o"
+  "CMakeFiles/vqdr_core_lib.dir/rewriting.cc.o.d"
+  "CMakeFiles/vqdr_core_lib.dir/twin_encoding.cc.o"
+  "CMakeFiles/vqdr_core_lib.dir/twin_encoding.cc.o.d"
+  "libvqdr_core_lib.a"
+  "libvqdr_core_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqdr_core_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

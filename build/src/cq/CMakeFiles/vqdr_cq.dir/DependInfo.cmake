@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cq/canonical.cc" "src/cq/CMakeFiles/vqdr_cq.dir/canonical.cc.o" "gcc" "src/cq/CMakeFiles/vqdr_cq.dir/canonical.cc.o.d"
+  "/root/repo/src/cq/conjunctive_query.cc" "src/cq/CMakeFiles/vqdr_cq.dir/conjunctive_query.cc.o" "gcc" "src/cq/CMakeFiles/vqdr_cq.dir/conjunctive_query.cc.o.d"
+  "/root/repo/src/cq/containment.cc" "src/cq/CMakeFiles/vqdr_cq.dir/containment.cc.o" "gcc" "src/cq/CMakeFiles/vqdr_cq.dir/containment.cc.o.d"
+  "/root/repo/src/cq/matcher.cc" "src/cq/CMakeFiles/vqdr_cq.dir/matcher.cc.o" "gcc" "src/cq/CMakeFiles/vqdr_cq.dir/matcher.cc.o.d"
+  "/root/repo/src/cq/minimize.cc" "src/cq/CMakeFiles/vqdr_cq.dir/minimize.cc.o" "gcc" "src/cq/CMakeFiles/vqdr_cq.dir/minimize.cc.o.d"
+  "/root/repo/src/cq/parser.cc" "src/cq/CMakeFiles/vqdr_cq.dir/parser.cc.o" "gcc" "src/cq/CMakeFiles/vqdr_cq.dir/parser.cc.o.d"
+  "/root/repo/src/cq/ucq.cc" "src/cq/CMakeFiles/vqdr_cq.dir/ucq.cc.o" "gcc" "src/cq/CMakeFiles/vqdr_cq.dir/ucq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/vqdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vqdr_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqdr_cq.dir/canonical.cc.o"
+  "CMakeFiles/vqdr_cq.dir/canonical.cc.o.d"
+  "CMakeFiles/vqdr_cq.dir/conjunctive_query.cc.o"
+  "CMakeFiles/vqdr_cq.dir/conjunctive_query.cc.o.d"
+  "CMakeFiles/vqdr_cq.dir/containment.cc.o"
+  "CMakeFiles/vqdr_cq.dir/containment.cc.o.d"
+  "CMakeFiles/vqdr_cq.dir/matcher.cc.o"
+  "CMakeFiles/vqdr_cq.dir/matcher.cc.o.d"
+  "CMakeFiles/vqdr_cq.dir/minimize.cc.o"
+  "CMakeFiles/vqdr_cq.dir/minimize.cc.o.d"
+  "CMakeFiles/vqdr_cq.dir/parser.cc.o"
+  "CMakeFiles/vqdr_cq.dir/parser.cc.o.d"
+  "CMakeFiles/vqdr_cq.dir/ucq.cc.o"
+  "CMakeFiles/vqdr_cq.dir/ucq.cc.o.d"
+  "libvqdr_cq.a"
+  "libvqdr_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqdr_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqdr_data.dir/instance.cc.o"
+  "CMakeFiles/vqdr_data.dir/instance.cc.o.d"
+  "CMakeFiles/vqdr_data.dir/isomorphism.cc.o"
+  "CMakeFiles/vqdr_data.dir/isomorphism.cc.o.d"
+  "CMakeFiles/vqdr_data.dir/relation.cc.o"
+  "CMakeFiles/vqdr_data.dir/relation.cc.o.d"
+  "CMakeFiles/vqdr_data.dir/schema.cc.o"
+  "CMakeFiles/vqdr_data.dir/schema.cc.o.d"
+  "CMakeFiles/vqdr_data.dir/tuple.cc.o"
+  "CMakeFiles/vqdr_data.dir/tuple.cc.o.d"
+  "CMakeFiles/vqdr_data.dir/value.cc.o"
+  "CMakeFiles/vqdr_data.dir/value.cc.o.d"
+  "libvqdr_data.a"
+  "libvqdr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqdr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqdr_datalog.dir/program.cc.o"
+  "CMakeFiles/vqdr_datalog.dir/program.cc.o.d"
+  "libvqdr_datalog.a"
+  "libvqdr_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqdr_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

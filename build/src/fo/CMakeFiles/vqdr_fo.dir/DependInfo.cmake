@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fo/evaluator.cc" "src/fo/CMakeFiles/vqdr_fo.dir/evaluator.cc.o" "gcc" "src/fo/CMakeFiles/vqdr_fo.dir/evaluator.cc.o.d"
+  "/root/repo/src/fo/formula.cc" "src/fo/CMakeFiles/vqdr_fo.dir/formula.cc.o" "gcc" "src/fo/CMakeFiles/vqdr_fo.dir/formula.cc.o.d"
+  "/root/repo/src/fo/from_cq.cc" "src/fo/CMakeFiles/vqdr_fo.dir/from_cq.cc.o" "gcc" "src/fo/CMakeFiles/vqdr_fo.dir/from_cq.cc.o.d"
+  "/root/repo/src/fo/library.cc" "src/fo/CMakeFiles/vqdr_fo.dir/library.cc.o" "gcc" "src/fo/CMakeFiles/vqdr_fo.dir/library.cc.o.d"
+  "/root/repo/src/fo/normalize.cc" "src/fo/CMakeFiles/vqdr_fo.dir/normalize.cc.o" "gcc" "src/fo/CMakeFiles/vqdr_fo.dir/normalize.cc.o.d"
+  "/root/repo/src/fo/order_invariance.cc" "src/fo/CMakeFiles/vqdr_fo.dir/order_invariance.cc.o" "gcc" "src/fo/CMakeFiles/vqdr_fo.dir/order_invariance.cc.o.d"
+  "/root/repo/src/fo/parser.cc" "src/fo/CMakeFiles/vqdr_fo.dir/parser.cc.o" "gcc" "src/fo/CMakeFiles/vqdr_fo.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cq/CMakeFiles/vqdr_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vqdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vqdr_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqdr_fo.dir/evaluator.cc.o"
+  "CMakeFiles/vqdr_fo.dir/evaluator.cc.o.d"
+  "CMakeFiles/vqdr_fo.dir/formula.cc.o"
+  "CMakeFiles/vqdr_fo.dir/formula.cc.o.d"
+  "CMakeFiles/vqdr_fo.dir/from_cq.cc.o"
+  "CMakeFiles/vqdr_fo.dir/from_cq.cc.o.d"
+  "CMakeFiles/vqdr_fo.dir/library.cc.o"
+  "CMakeFiles/vqdr_fo.dir/library.cc.o.d"
+  "CMakeFiles/vqdr_fo.dir/normalize.cc.o"
+  "CMakeFiles/vqdr_fo.dir/normalize.cc.o.d"
+  "CMakeFiles/vqdr_fo.dir/order_invariance.cc.o"
+  "CMakeFiles/vqdr_fo.dir/order_invariance.cc.o.d"
+  "CMakeFiles/vqdr_fo.dir/parser.cc.o"
+  "CMakeFiles/vqdr_fo.dir/parser.cc.o.d"
+  "libvqdr_fo.a"
+  "libvqdr_fo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqdr_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/enumerate.cc" "src/gen/CMakeFiles/vqdr_gen.dir/enumerate.cc.o" "gcc" "src/gen/CMakeFiles/vqdr_gen.dir/enumerate.cc.o.d"
+  "/root/repo/src/gen/random_instance.cc" "src/gen/CMakeFiles/vqdr_gen.dir/random_instance.cc.o" "gcc" "src/gen/CMakeFiles/vqdr_gen.dir/random_instance.cc.o.d"
+  "/root/repo/src/gen/random_query.cc" "src/gen/CMakeFiles/vqdr_gen.dir/random_query.cc.o" "gcc" "src/gen/CMakeFiles/vqdr_gen.dir/random_query.cc.o.d"
+  "/root/repo/src/gen/workloads.cc" "src/gen/CMakeFiles/vqdr_gen.dir/workloads.cc.o" "gcc" "src/gen/CMakeFiles/vqdr_gen.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/views/CMakeFiles/vqdr_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/vqdr_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vqdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vqdr_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/vqdr_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/vqdr_fo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

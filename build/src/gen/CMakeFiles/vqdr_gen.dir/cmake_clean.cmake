@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqdr_gen.dir/enumerate.cc.o"
+  "CMakeFiles/vqdr_gen.dir/enumerate.cc.o.d"
+  "CMakeFiles/vqdr_gen.dir/random_instance.cc.o"
+  "CMakeFiles/vqdr_gen.dir/random_instance.cc.o.d"
+  "CMakeFiles/vqdr_gen.dir/random_query.cc.o"
+  "CMakeFiles/vqdr_gen.dir/random_query.cc.o.d"
+  "CMakeFiles/vqdr_gen.dir/workloads.cc.o"
+  "CMakeFiles/vqdr_gen.dir/workloads.cc.o.d"
+  "libvqdr_gen.a"
+  "libvqdr_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqdr_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

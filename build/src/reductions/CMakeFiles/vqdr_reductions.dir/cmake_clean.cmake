@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqdr_reductions.dir/counterexamples.cc.o"
+  "CMakeFiles/vqdr_reductions.dir/counterexamples.cc.o.d"
+  "CMakeFiles/vqdr_reductions.dir/gimp.cc.o"
+  "CMakeFiles/vqdr_reductions.dir/gimp.cc.o.d"
+  "CMakeFiles/vqdr_reductions.dir/monoid.cc.o"
+  "CMakeFiles/vqdr_reductions.dir/monoid.cc.o.d"
+  "CMakeFiles/vqdr_reductions.dir/order_views.cc.o"
+  "CMakeFiles/vqdr_reductions.dir/order_views.cc.o.d"
+  "CMakeFiles/vqdr_reductions.dir/sat_reductions.cc.o"
+  "CMakeFiles/vqdr_reductions.dir/sat_reductions.cc.o.d"
+  "CMakeFiles/vqdr_reductions.dir/turing.cc.o"
+  "CMakeFiles/vqdr_reductions.dir/turing.cc.o.d"
+  "libvqdr_reductions.a"
+  "libvqdr_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqdr_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

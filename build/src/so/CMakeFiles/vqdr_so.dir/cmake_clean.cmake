@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqdr_so.dir/so_query.cc.o"
+  "CMakeFiles/vqdr_so.dir/so_query.cc.o.d"
+  "libvqdr_so.a"
+  "libvqdr_so.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqdr_so.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

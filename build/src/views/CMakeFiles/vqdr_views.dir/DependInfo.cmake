@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/views/query.cc" "src/views/CMakeFiles/vqdr_views.dir/query.cc.o" "gcc" "src/views/CMakeFiles/vqdr_views.dir/query.cc.o.d"
+  "/root/repo/src/views/view_set.cc" "src/views/CMakeFiles/vqdr_views.dir/view_set.cc.o" "gcc" "src/views/CMakeFiles/vqdr_views.dir/view_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datalog/CMakeFiles/vqdr_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/vqdr_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/vqdr_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vqdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vqdr_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

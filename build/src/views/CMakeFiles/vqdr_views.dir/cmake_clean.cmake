@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqdr_views.dir/query.cc.o"
+  "CMakeFiles/vqdr_views.dir/query.cc.o.d"
+  "CMakeFiles/vqdr_views.dir/view_set.cc.o"
+  "CMakeFiles/vqdr_views.dir/view_set.cc.o.d"
+  "libvqdr_views.a"
+  "libvqdr_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqdr_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chase.dir/chase_test.cc.o"
+  "CMakeFiles/test_chase.dir/chase_test.cc.o.d"
+  "test_chase"
+  "test_chase.pdb"
+  "test_chase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

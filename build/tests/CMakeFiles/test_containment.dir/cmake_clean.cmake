@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_containment.dir/containment_test.cc.o"
+  "CMakeFiles/test_containment.dir/containment_test.cc.o.d"
+  "test_containment"
+  "test_containment.pdb"
+  "test_containment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

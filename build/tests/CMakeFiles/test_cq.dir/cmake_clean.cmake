@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cq.dir/cq_test.cc.o"
+  "CMakeFiles/test_cq.dir/cq_test.cc.o.d"
+  "test_cq"
+  "test_cq.pdb"
+  "test_cq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

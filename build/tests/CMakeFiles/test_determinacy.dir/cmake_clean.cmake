@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_determinacy.dir/determinacy_test.cc.o"
+  "CMakeFiles/test_determinacy.dir/determinacy_test.cc.o.d"
+  "test_determinacy"
+  "test_determinacy.pdb"
+  "test_determinacy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_determinacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evaluator_crosscheck.dir/evaluator_crosscheck_test.cc.o"
+  "CMakeFiles/test_evaluator_crosscheck.dir/evaluator_crosscheck_test.cc.o.d"
+  "test_evaluator_crosscheck"
+  "test_evaluator_crosscheck.pdb"
+  "test_evaluator_crosscheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evaluator_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

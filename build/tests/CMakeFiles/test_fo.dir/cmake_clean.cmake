@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fo.dir/fo_test.cc.o"
+  "CMakeFiles/test_fo.dir/fo_test.cc.o.d"
+  "test_fo"
+  "test_fo.pdb"
+  "test_fo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

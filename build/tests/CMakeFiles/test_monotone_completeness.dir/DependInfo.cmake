@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/monotone_completeness_test.cc" "tests/CMakeFiles/test_monotone_completeness.dir/monotone_completeness_test.cc.o" "gcc" "tests/CMakeFiles/test_monotone_completeness.dir/monotone_completeness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reductions/CMakeFiles/vqdr_reductions.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vqdr_core_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/vqdr_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/vqdr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/vqdr_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/vqdr_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/so/CMakeFiles/vqdr_so.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/vqdr_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/vqdr_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vqdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vqdr_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monotone_completeness.dir/monotone_completeness_test.cc.o"
+  "CMakeFiles/test_monotone_completeness.dir/monotone_completeness_test.cc.o.d"
+  "test_monotone_completeness"
+  "test_monotone_completeness.pdb"
+  "test_monotone_completeness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monotone_completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_rewriter.dir/reference_rewriter_test.cc.o"
+  "CMakeFiles/test_reference_rewriter.dir/reference_rewriter_test.cc.o.d"
+  "test_reference_rewriter"
+  "test_reference_rewriter.pdb"
+  "test_reference_rewriter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_rewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

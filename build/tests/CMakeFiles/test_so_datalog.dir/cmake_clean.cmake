@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_so_datalog.dir/so_datalog_test.cc.o"
+  "CMakeFiles/test_so_datalog.dir/so_datalog_test.cc.o.d"
+  "test_so_datalog"
+  "test_so_datalog.pdb"
+  "test_so_datalog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_so_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

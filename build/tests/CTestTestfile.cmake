@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_cq[1]_include.cmake")
+include("/root/repo/build/tests/test_containment[1]_include.cmake")
+include("/root/repo/build/tests/test_fo[1]_include.cmake")
+include("/root/repo/build/tests/test_so_datalog[1]_include.cmake")
+include("/root/repo/build/tests/test_chase[1]_include.cmake")
+include("/root/repo/build/tests/test_determinacy[1]_include.cmake")
+include("/root/repo/build/tests/test_core_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_reductions[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_property2[1]_include.cmake")
+include("/root/repo/build/tests/test_reference_rewriter[1]_include.cmake")
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_evaluator_crosscheck[1]_include.cmake")
+include("/root/repo/build/tests/test_monotone_completeness[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
