@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "core/boolean_views.h"
 #include "gen/workloads.h"
 
@@ -49,4 +51,4 @@ BENCHMARK(BM_BooleanDecisionVsQuerySize)->DenseRange(1, 4)
 }  // namespace
 }  // namespace vqdr
 
-BENCHMARK_MAIN();
+VQDR_BENCH_MAIN("boolean_views");

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "chase/chain.h"
 #include "chase/view_inverse.h"
 #include "gen/workloads.h"
@@ -67,4 +69,4 @@ BENCHMARK(BM_ViewInverseRandomGraph)->Arg(8)->Arg(16)->Arg(24)
 }  // namespace
 }  // namespace vqdr
 
-BENCHMARK_MAIN();
+VQDR_BENCH_MAIN("chase");

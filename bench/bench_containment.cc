@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "cq/containment.h"
 #include "cq/minimize.h"
 #include "gen/workloads.h"
@@ -89,4 +91,4 @@ BENCHMARK(BM_UcqContainment)->DenseRange(1, 5)
 }  // namespace
 }  // namespace vqdr
 
-BENCHMARK_MAIN();
+VQDR_BENCH_MAIN("containment");

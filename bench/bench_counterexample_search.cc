@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "core/finite_search.h"
 #include "core/twin_encoding.h"
 #include "cq/parser.h"
@@ -81,4 +83,4 @@ BENCHMARK(BM_MonotonicitySearchProp512)->DenseRange(2, 2)
 }  // namespace
 }  // namespace vqdr
 
-BENCHMARK_MAIN();
+VQDR_BENCH_MAIN("counterexample_search");

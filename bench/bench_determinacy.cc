@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "core/determinacy.h"
 #include "gen/workloads.h"
 
@@ -70,4 +72,4 @@ BENCHMARK(BM_DeterminacyStarQuery)->DenseRange(1, 6)
 }  // namespace
 }  // namespace vqdr
 
-BENCHMARK_MAIN();
+VQDR_BENCH_MAIN("determinacy");

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "cq/matcher.h"
 #include "datalog/program.h"
 #include "fo/from_cq.h"
@@ -104,4 +106,4 @@ BENCHMARK(BM_HomomorphismSearch)->DenseRange(2, 6)
 }  // namespace
 }  // namespace vqdr
 
-BENCHMARK_MAIN();
+VQDR_BENCH_MAIN("eval");

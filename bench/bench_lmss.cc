@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "core/rewriting.h"
 #include "gen/workloads.h"
 
@@ -72,4 +74,4 @@ BENCHMARK(BM_ExpandRewriting)->DenseRange(1, 8)
 }  // namespace
 }  // namespace vqdr
 
-BENCHMARK_MAIN();
+VQDR_BENCH_MAIN("lmss");

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "cq/matcher.h"
 #include "reductions/monoid.h"
 
@@ -99,4 +101,4 @@ BENCHMARK(BM_MonoidalFunctionSearchExhaustive)->DenseRange(1, 3)
 }  // namespace
 }  // namespace vqdr
 
-BENCHMARK_MAIN();
+VQDR_BENCH_MAIN("monoid");

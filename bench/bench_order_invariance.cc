@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "fo/order_invariance.h"
 #include "fo/parser.h"
 #include "gen/workloads.h"
@@ -86,4 +88,4 @@ BENCHMARK(BM_OrderGuardedQueryEval)->DenseRange(2, 6)
 }  // namespace
 }  // namespace vqdr
 
-BENCHMARK_MAIN();
+VQDR_BENCH_MAIN("order_invariance");

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "core/query_answering.h"
 #include "cq/parser.h"
 #include "gen/workloads.h"
@@ -83,4 +85,4 @@ BENCHMARK(BM_CertainAnswers)->DenseRange(2, 3)
 }  // namespace
 }  // namespace vqdr
 
-BENCHMARK_MAIN();
+VQDR_BENCH_MAIN("query_answering");

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "gen/workloads.h"
 #include "reductions/turing.h"
 
@@ -72,4 +74,4 @@ BENCHMARK(BM_TmSimulation)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
 }  // namespace
 }  // namespace vqdr
 
-BENCHMARK_MAIN();
+VQDR_BENCH_MAIN("turing");

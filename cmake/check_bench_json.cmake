@@ -1,0 +1,11 @@
+# Validates a BENCH_<name>.json produced by bench/bench_json.h: it must
+# parse, name the bench, carry a wall time, and report >= 3 obs counters.
+# Usage: cmake -DJSON_FILE=path/to/BENCH_x.json -P check_bench_json.cmake
+file(READ "${JSON_FILE}" content)
+string(JSON bench_name GET "${content}" bench)
+string(JSON wall_time GET "${content}" wall_time_s)
+string(JSON n_counters LENGTH "${content}" obs counters)
+if(n_counters LESS 3)
+  message(FATAL_ERROR "${JSON_FILE}: expected >= 3 obs counters, got ${n_counters}")
+endif()
+message(STATUS "${JSON_FILE} ok: bench=${bench_name} wall_time_s=${wall_time} obs_counters=${n_counters}")

@@ -2,11 +2,16 @@
 
 #include "base/check.h"
 #include "chase/view_inverse.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 namespace vqdr {
 
 ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
                            int levels, ValueFactory& factory) {
+  VQDR_COUNTER_INC("chase.chain.builds");
+  VQDR_TRACE_SPAN("chase.chain", levels);
   VQDR_CHECK(views.AllPureCq()) << "chase chain requires pure CQ views";
   VQDR_CHECK(q.IsPureCq()) << "chase chain requires a pure CQ query";
   VQDR_CHECK_GE(levels, 0);
@@ -27,6 +32,8 @@ ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
   chain.d_prime.push_back(ViewInverse(views, empty, chain.s[0], factory));
 
   for (int k = 0; k < levels; ++k) {
+    VQDR_COUNTER_INC("chase.chain.levels");
+    VQDR_TRACE_SPAN("chase.level", k + 1);
     // S'_{k+1} = V(D'_k)
     chain.s_prime.push_back(views.Apply(chain.d_prime[k]));
     // D_{k+1} = V_{D_k}^{-1}(S'_{k+1})
@@ -37,6 +44,14 @@ ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
     // D'_{k+1} = V_{D'_k}^{-1}(S_{k+1})
     chain.d_prime.push_back(
         ViewInverse(views, chain.d_prime[k], chain.s[k + 1], factory));
+    VQDR_HISTOGRAM_RECORD("chase.chain.level_size",
+                          chain.d[k + 1].TupleCount());
+    // Chain levels grow doubly fast; report each one so a deep build stays
+    // visibly alive. A false return asks us to stop at the level boundary.
+    if (!obs::ReportProgress("chase.level", static_cast<std::uint64_t>(k + 1),
+                             static_cast<std::uint64_t>(levels))) {
+      break;
+    }
   }
   return chain;
 }

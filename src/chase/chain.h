@@ -35,6 +35,9 @@ struct ChaseChain {
 };
 
 /// Builds `levels`+1 levels of the chain for pure CQ views and query.
+/// Reports each completed level through obs::ReportProgress ("chase.level");
+/// a progress callback returning false truncates the chain at that level
+/// (every level present is still exact).
 ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
                            int levels, ValueFactory& factory);
 

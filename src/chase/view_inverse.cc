@@ -3,6 +3,8 @@
 #include <map>
 
 #include "base/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vqdr {
 
@@ -16,6 +18,8 @@ Schema ChaseSchema(const ViewSet& views, const Schema& base) {
 
 Instance ViewInverse(const ViewSet& views, const Instance& base,
                      const Instance& s_prime, ValueFactory& factory) {
+  VQDR_COUNTER_INC("chase.view_inverse.calls");
+  VQDR_TRACE_SPAN("chase.view_inverse");
   VQDR_CHECK(views.AllPureCq()) << "ViewInverse requires pure CQ views";
 
   // Result starts as a copy of the base over the widened schema.
@@ -36,6 +40,7 @@ Instance ViewInverse(const ViewSet& views, const Instance& base,
     const Relation& old_tuples = s.Get(view.name);
     for (const Tuple& y : new_tuples.tuples()) {
       if (old_tuples.Contains(y)) continue;  // already witnessed by base
+      VQDR_COUNTER_INC("chase.view_inverse.tuples_chased");
 
       // α_ȳ: unify the head terms with ȳ.
       std::map<std::string, Value> alpha;
@@ -73,8 +78,10 @@ Instance ViewInverse(const ViewSet& views, const Instance& base,
         for (const Term& t : atom.args) fact.push_back(resolve(t));
         result.AddFact(atom.predicate, fact);
       }
+      VQDR_COUNTER_ADD("chase.view_inverse.facts_added", q.atoms().size());
     }
   }
+  VQDR_HISTOGRAM_RECORD("chase.view_inverse.result_size", result.TupleCount());
   return result;
 }
 

@@ -4,11 +4,15 @@
 #include "chase/view_inverse.h"
 #include "cq/canonical.h"
 #include "cq/matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vqdr {
 
 UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacy(
     const ViewSet& views, const ConjunctiveQuery& q) {
+  VQDR_COUNTER_INC("determinacy.decisions");
+  VQDR_TRACE_SPAN("determinacy.unrestricted");
   VQDR_CHECK(views.AllPureCq())
       << "unrestricted determinacy decision requires pure CQ views";
   VQDR_CHECK(q.IsPureCq())
@@ -43,6 +47,7 @@ UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacy(
       CqAnswerContains(q, result.chase_inverse, frozen.frozen_head);
 
   if (result.determined) {
+    VQDR_COUNTER_INC("determinacy.determined");
     // Q_V: the CQ over σ_V whose frozen body is S and whose head is x̄.
     // Constants of the query/views remain constants; frozen variables of
     // [Q] become variables of Q_V.

@@ -4,12 +4,33 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+
 namespace vqdr {
+
+namespace {
+
+// Progress cadence for instance enumeration: frequent enough to look alive,
+// sparse enough that a callback-free run pays only the ticker branch.
+constexpr std::uint64_t kProgressStride = 1024;
+
+}  // namespace
 
 DeterminacySearchResult SearchDeterminacyCounterexample(
     const ViewSet& views, const Query& q, const Schema& base,
     const EnumerationOptions& options) {
+  VQDR_TRACE_SPAN("search.determinacy");
   DeterminacySearchResult result;
+
+  // The examined tally is read back from the shared obs counter instead of
+  // a parallel hand-rolled count (single-threaded searches, so the delta is
+  // exactly this call's instances).
+  obs::Counter& instances = obs::GetCounter("search.instances");
+  const std::uint64_t instances_before = instances.value();
+  obs::ProgressTicker ticker("search.instances", kProgressStride,
+                             options.max_instances);
 
   // First instance and query answer seen per view-image key.
   struct GroupInfo {
@@ -18,17 +39,25 @@ DeterminacySearchResult SearchDeterminacyCounterexample(
   };
   std::map<std::string, GroupInfo> groups;
 
+  bool cancelled = false;
   EnumerationOutcome outcome =
       ForEachInstance(base, options, [&](const Instance& d) {
+        instances.Increment();
+        if (!ticker.Tick()) {
+          cancelled = true;
+          return false;
+        }
         Instance image = views.Apply(d);
         std::string key = image.ToKey();
         Relation answer = q.Eval(d);
         auto it = groups.find(key);
         if (it == groups.end()) {
+          VQDR_COUNTER_INC("search.groups");
           groups.emplace(key, GroupInfo{d, answer});
           return true;
         }
         if (it->second.answer != answer) {
+          VQDR_COUNTER_INC("search.counterexamples");
           result.verdict = SearchVerdict::kCounterexampleFound;
           result.counterexample =
               DeterminacyCounterexample{it->second.first, d};
@@ -36,9 +65,9 @@ DeterminacySearchResult SearchDeterminacyCounterexample(
         }
         return true;
       });
-  result.instances_examined = outcome.visited;
+  result.instances_examined = instances.value() - instances_before;
   if (result.verdict != SearchVerdict::kCounterexampleFound &&
-      !outcome.complete) {
+      (!outcome.complete || cancelled)) {
     result.verdict = SearchVerdict::kBudgetExhausted;
   }
   return result;
@@ -47,7 +76,13 @@ DeterminacySearchResult SearchDeterminacyCounterexample(
 MonotonicitySearchResult SearchMonotonicityViolation(
     const ViewSet& views, const Query& q, const Schema& base,
     const EnumerationOptions& options) {
+  VQDR_TRACE_SPAN("search.monotonicity");
   MonotonicitySearchResult result;
+
+  obs::Counter& instances = obs::GetCounter("search.mono.instances");
+  const std::uint64_t instances_before = instances.value();
+  obs::ProgressTicker ticker("search.mono.instances", kProgressStride,
+                             options.max_instances);
 
   struct Entry {
     Instance d{Schema{}};
@@ -56,18 +91,27 @@ MonotonicitySearchResult SearchMonotonicityViolation(
   };
   std::vector<Entry> entries;
 
+  bool cancelled = false;
   EnumerationOutcome outcome =
       ForEachInstance(base, options, [&](const Instance& d) {
+        instances.Increment();
+        if (!ticker.Tick()) {
+          cancelled = true;
+          return false;
+        }
         entries.push_back(Entry{d, views.Apply(d), q.Eval(d)});
         return true;
       });
-  result.instances_examined = outcome.visited;
+  result.instances_examined = instances.value() - instances_before;
 
+  obs::Counter& pairs = obs::GetCounter("search.mono.pairs");
   for (const Entry& a : entries) {
     for (const Entry& b : entries) {
       if (&a == &b) continue;
       if (!a.image.IsSubInstanceOf(b.image)) continue;
+      pairs.Increment();
       if (!a.answer.IsSubsetOf(b.answer)) {
+        VQDR_COUNTER_INC("search.mono.violations");
         result.verdict = SearchVerdict::kCounterexampleFound;
         result.violation =
             MonotonicityViolation{a.d, b.d, a.image, b.image};
@@ -75,7 +119,9 @@ MonotonicitySearchResult SearchMonotonicityViolation(
       }
     }
   }
-  if (!outcome.complete) result.verdict = SearchVerdict::kBudgetExhausted;
+  if (!outcome.complete || cancelled) {
+    result.verdict = SearchVerdict::kBudgetExhausted;
+  }
   return result;
 }
 

@@ -39,11 +39,15 @@ enum class SearchVerdict {
 struct DeterminacySearchResult {
   SearchVerdict verdict = SearchVerdict::kNoneWithinBound;
   std::optional<DeterminacyCounterexample> counterexample;
+  /// Fed from the `search.instances` obs counter (the delta across this
+  /// call), not a parallel tally.
   std::uint64_t instances_examined = 0;
 };
 
 /// Enumerates every instance over `base` within `options`, groups by view
-/// image, and reports the first group on which Q disagrees.
+/// image, and reports the first group on which Q disagrees. Reports
+/// liveness through obs::ReportProgress ("search.instances"); a progress
+/// callback returning false stops the search with kBudgetExhausted.
 DeterminacySearchResult SearchDeterminacyCounterexample(
     const ViewSet& views, const Query& q, const Schema& base,
     const EnumerationOptions& options);

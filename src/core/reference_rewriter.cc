@@ -6,16 +6,27 @@
 #include "base/check.h"
 #include "core/rewriting.h"
 #include "cq/containment.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 namespace vqdr {
 
 ReferenceRewritingResult FindCqRewritingByEnumeration(
     const ViewSet& views, const ConjunctiveQuery& q,
     const ReferenceRewritingOptions& options) {
+  VQDR_TRACE_SPAN("rewrite.enumerate");
   VQDR_CHECK(views.AllPureCq());
   VQDR_CHECK(q.IsPureCq() && q.IsSafe());
 
   ReferenceRewritingResult result;
+
+  // candidates_examined is the delta of the shared obs counter across this
+  // call rather than a private tally (searches are single-threaded).
+  obs::Counter& candidates = obs::GetCounter("rewrite.candidates");
+  const std::uint64_t candidates_before = candidates.value();
+  obs::ProgressTicker ticker("rewrite.candidates", /*stride=*/1024,
+                             options.max_candidates);
 
   // Head: fresh variables h1..hk; body variables drawn from the heads plus
   // a pool b1..bp.
@@ -34,10 +45,14 @@ ReferenceRewritingResult FindCqRewritingByEnumeration(
   // range over the term pool.
   std::vector<Atom> atoms;
   std::function<bool()> test_candidate = [&]() -> bool {
-    ++result.candidates_examined;
-    if (result.candidates_examined > options.max_candidates) {
+    candidates.Increment();
+    if (candidates.value() - candidates_before > options.max_candidates) {
       result.exhaustive = false;
       return true;  // stop everything
+    }
+    if (!ticker.Tick()) {
+      result.exhaustive = false;
+      return true;  // progress callback requested a stop
     }
     ConjunctiveQuery candidate(q.head_name(), head_terms);
     for (const Atom& a : atoms) candidate.AddAtom(a);
@@ -85,6 +100,8 @@ ReferenceRewritingResult FindCqRewritingByEnumeration(
   };
 
   build(options.max_atoms);
+  result.candidates_examined = candidates.value() - candidates_before;
+  if (result.exists) VQDR_COUNTER_INC("rewrite.found");
   return result;
 }
 

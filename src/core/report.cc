@@ -4,6 +4,7 @@
 
 #include "core/query_answering.h"
 #include "core/rewriting.h"
+#include "obs/trace.h"
 
 namespace vqdr {
 
@@ -33,13 +34,15 @@ std::string DeterminacyReport::Summary() const {
              "Theorem 5.11.";
       break;
   }
+  if (!metrics.empty()) out << "\n[metrics] " << metrics.ToString();
   return out.str();
 }
 
-DeterminacyReport AnalyzeDeterminacy(const ViewSet& views,
-                                     const ConjunctiveQuery& q,
-                                     const Schema& base,
-                                     const DeterminacyAnalysisOptions& opts) {
+namespace {
+
+DeterminacyReport AnalyzeDeterminacyImpl(
+    const ViewSet& views, const ConjunctiveQuery& q, const Schema& base,
+    const DeterminacyAnalysisOptions& opts) {
   DeterminacyReport report;
   report.unrestricted = DecideUnrestrictedDeterminacy(views, q);
 
@@ -70,6 +73,24 @@ DeterminacyReport AnalyzeDeterminacy(const ViewSet& views,
   report.verdict = DeterminacyVerdict::kOpenWithinBound;
   report.searches_exhaustive =
       search.verdict == SearchVerdict::kNoneWithinBound;
+  return report;
+}
+
+}  // namespace
+
+DeterminacyReport AnalyzeDeterminacy(const ViewSet& views,
+                                     const ConjunctiveQuery& q,
+                                     const Schema& base,
+                                     const DeterminacyAnalysisOptions& opts) {
+  // Attribute all counter/histogram movement during the battery to this
+  // report (single-threaded analysis, so the delta is exactly ours).
+  obs::MetricsSnapshot before = obs::SnapshotMetrics();
+  DeterminacyReport report;
+  {
+    VQDR_TRACE_SPAN("report.analyze");
+    report = AnalyzeDeterminacyImpl(views, q, base, opts);
+  }
+  report.metrics = obs::SnapshotDelta(before);
   return report;
 }
 

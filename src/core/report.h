@@ -7,6 +7,7 @@
 #include "core/determinacy.h"
 #include "core/finite_search.h"
 #include "cq/conjunctive_query.h"
+#include "obs/metrics.h"
 #include "views/view_set.h"
 
 namespace vqdr {
@@ -55,7 +56,12 @@ struct DeterminacyReport {
   /// Whether the bounded searches covered their spaces.
   bool searches_exhaustive = true;
 
-  /// One-paragraph human-readable summary.
+  /// Observability counters/histograms attributed to this analysis (the
+  /// metrics delta across the battery): chase.*, cq.hom.*, search.*, ...
+  obs::MetricsSnapshot metrics;
+
+  /// One-paragraph human-readable summary, ending with a "[metrics] ..."
+  /// block when the analysis recorded any.
   std::string Summary() const;
 };
 

@@ -7,6 +7,8 @@
 #include "base/check.h"
 #include "cq/canonical.h"
 #include "cq/matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vqdr {
 
@@ -70,6 +72,7 @@ bool ForEachCanonicalDb(
   for (Value c : all_constants) base_factory.NoteUsed(c);
 
   auto run_pattern = [&](const ConjunctiveQuery& collapsed) -> bool {
+    VQDR_COUNTER_INC("cq.containment.canonical_dbs");
     // Skip patterns inconsistent with q1's disequalities.
     for (const TermComparison& c : collapsed.disequalities()) {
       if (c.lhs == c.rhs) return true;
@@ -155,6 +158,8 @@ std::set<Value> UnionConstants(const ConjunctiveQuery& a,
 }  // namespace
 
 bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  VQDR_COUNTER_INC("cq.containment.checks");
+  VQDR_TRACE_SPAN("cq.containment");
   VQDR_CHECK(!q1.UsesNegation() && !q2.UsesNegation())
       << "containment is not supported for CQ¬";
   VQDR_CHECK_EQ(q1.head_arity(), q2.head_arity())
@@ -180,6 +185,8 @@ bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
 }
 
 bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2) {
+  VQDR_COUNTER_INC("cq.containment.ucq_checks");
+  VQDR_TRACE_SPAN("cq.containment.ucq");
   VQDR_CHECK(!q1.empty() && !q2.empty()) << "containment with empty UCQ";
   VQDR_CHECK_EQ(q1.head_arity(), q2.head_arity());
 

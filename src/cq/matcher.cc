@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/check.h"
+#include "obs/metrics.h"
 
 namespace vqdr {
 
@@ -18,12 +19,23 @@ int BoundPositions(const Atom& atom, const Binding& binding) {
   return bound;
 }
 
+// Stack-local tally for one ForEachMatch call, flushed to the obs counters
+// once at the end — keeps atomic traffic out of the recursion entirely.
+struct MatchStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t matches = 0;
+};
+
 // Recursive backtracking join. `remaining` holds indices of atoms not yet
 // matched.
 bool MatchRec(const std::vector<Atom>& atoms, const Instance& db,
               std::vector<int>& remaining, Binding& binding,
-              const std::function<bool(const Binding&)>& on_match) {
-  if (remaining.empty()) return on_match(binding);
+              const std::function<bool(const Binding&)>& on_match,
+              MatchStats& stats) {
+  if (remaining.empty()) {
+    ++stats.matches;
+    return on_match(binding);
+  }
 
   // Pick the most-constrained atom: maximal bound positions, then smaller
   // relation. This keeps the search close to a worst-case-optimal join on
@@ -47,7 +59,11 @@ bool MatchRec(const std::vector<Atom>& atoms, const Instance& db,
   const Relation& rel = db.Get(atom.predicate);
 
   bool keep_going = true;
+  // Tallied in a register-local and folded into `stats` once per level so
+  // the per-tuple loop stays store-free.
+  std::uint64_t attempts = 0;
   for (const Tuple& tuple : rel.tuples()) {
+    ++attempts;
     // Try to extend the binding so that atom maps to this tuple.
     std::vector<std::pair<std::string, Value>> added;
     bool consistent = true;
@@ -73,11 +89,12 @@ bool MatchRec(const std::vector<Atom>& atoms, const Instance& db,
       }
     }
     if (consistent) {
-      keep_going = MatchRec(atoms, db, remaining, binding, on_match);
+      keep_going = MatchRec(atoms, db, remaining, binding, on_match, stats);
     }
     for (const auto& [var, value] : added) binding.erase(var);
     if (!keep_going) break;
   }
+  stats.attempts += attempts;
 
   remaining.insert(remaining.begin() + best_i, atom_index);
   return keep_going;
@@ -128,10 +145,15 @@ bool ForEachMatch(const std::vector<Atom>& atoms, const Instance& db,
     remaining[i] = static_cast<int>(i);
   }
   Binding binding = initial;
-  return MatchRec(atoms, db, remaining, binding, on_match);
+  MatchStats stats;
+  bool completed = MatchRec(atoms, db, remaining, binding, on_match, stats);
+  VQDR_COUNTER_ADD("cq.hom.attempts", stats.attempts);
+  VQDR_COUNTER_ADD("cq.hom.matches", stats.matches);
+  return completed;
 }
 
 Relation EvaluateCq(const ConjunctiveQuery& q, const Instance& db) {
+  VQDR_COUNTER_INC("cq.eval.calls");
   VQDR_CHECK(q.IsSafe()) << "evaluating unsafe query: " << q.ToString();
   bool satisfiable = true;
   ConjunctiveQuery normalized = q.PropagateEqualities(&satisfiable);
@@ -164,6 +186,7 @@ Relation EvaluateUcq(const UnionQuery& q, const Instance& db) {
 
 bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
                       const Tuple& tuple) {
+  VQDR_COUNTER_INC("cq.answer_contains.calls");
   VQDR_CHECK_EQ(static_cast<int>(tuple.size()), q.head_arity());
   VQDR_CHECK(q.IsSafe()) << "evaluating unsafe query: " << q.ToString();
   bool satisfiable = true;

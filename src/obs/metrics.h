@@ -1,0 +1,125 @@
+#ifndef VQDR_OBS_METRICS_H_
+#define VQDR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+// Process-wide counters and histograms for the solver stack.
+//
+// Counters are named with a dotted scheme grouping them by subsystem:
+//   cq.hom.*      homomorphism search (attempts, matches)
+//   cq.*          evaluation / containment machinery
+//   chase.*       view-inverse chase and Theorem 3.3 chains
+//   search.*      bounded finite-counterexample searches
+//   rewrite.*     rewriting synthesis and the LMSS-style reference rewriter
+//
+// Hot paths report through the VQDR_COUNTER_* / VQDR_HISTOGRAM_RECORD macros
+// (see obs/obs_macros.h), which compile to nothing under VQDR_OBS_DISABLED.
+// Code whose *results* depend on a tally (e.g. instances_examined fields)
+// uses the GetCounter API directly so the numbers survive a disabled build.
+
+namespace vqdr::obs {
+
+/// A monotone process-wide counter. Cheap: one relaxed atomic add.
+class Counter {
+ public:
+  void Add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A size/duration distribution: count, sum, min, max. Enough to read tail
+/// behaviour of chase instance sizes and search fan-out without bucket
+/// bookkeeping on the hot path.
+class Histogram {
+ public:
+  void Record(std::uint64_t v);
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const { return min_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset();
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Returns the process-wide counter registered under `name`, creating it on
+/// first use. The reference stays valid for the process lifetime; call sites
+/// should cache it (the VQDR_COUNTER_* macros do so in a static).
+Counter& GetCounter(std::string_view name);
+
+/// Same, for histograms.
+Histogram& GetHistogram(std::string_view name);
+
+/// A histogram's values at snapshot time. min is 0 when count is 0.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+};
+
+/// A point-in-time copy of every registered metric, or (via SnapshotDelta) a
+/// window of activity between two points. Attached to DeterminacyReport and
+/// embedded in BENCH_*.json.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const { return counters.empty() && histograms.empty(); }
+
+  /// "name=value name=value ..." with histograms rendered as
+  /// "name{count,sum,min,max}". Deterministic (map order).
+  std::string ToString() const;
+
+  /// {"counters":{...},"histograms":{"name":{"count":..,...},...}}
+  std::string ToJson() const;
+};
+
+/// Snapshots every registered counter and histogram. Zero-valued counters
+/// are included (they were touched at least once to be registered).
+MetricsSnapshot SnapshotMetrics();
+
+/// Current metrics minus `before`, dropping entries that did not move.
+/// The natural way to attribute activity to one call: snapshot, run, delta.
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before);
+
+/// Resets every registered metric to zero. Registration (and outstanding
+/// references) stay valid. Intended for tests and bench warm-up isolation.
+void ResetMetrics();
+
+namespace internal {
+/// Appends `s` to `out` as a double-quoted JSON string (escapes ", \, and
+/// control characters). Shared by metrics, the trace sink, and the bench
+/// report writer.
+void AppendJsonString(std::string_view s, std::string* out);
+}  // namespace internal
+
+}  // namespace vqdr::obs
+
+#include "obs/obs_macros.h"
+
+#endif  // VQDR_OBS_METRICS_H_

@@ -1,0 +1,60 @@
+// The macro seam of the observability layer. Deliberately NOT include-guarded:
+// every inclusion first #undefs and then redefines the macros according to the
+// current setting of VQDR_OBS_DISABLED, so a translation unit (typically a
+// test) can flip the seam mid-file:
+//
+//   #define VQDR_OBS_DISABLED
+//   #include "obs/obs_macros.h"   // macros are now no-ops
+//   ...
+//   #undef VQDR_OBS_DISABLED
+//   #include "obs/obs_macros.h"   // macros are live again
+//
+// With VQDR_OBS_DISABLED defined the macros expand to ((void)0): no atomic
+// traffic, no registry lookup, no clock reads — the zero-overhead escape
+// hatch for builds that want the solver stack uninstrumented.
+//
+// The enabled expansions cache a registry reference in a function-local
+// static, so each call site pays one registry lookup ever and one relaxed
+// atomic add per hit.
+
+#undef VQDR_COUNTER_INC
+#undef VQDR_COUNTER_ADD
+#undef VQDR_HISTOGRAM_RECORD
+#undef VQDR_TRACE_SPAN
+#undef VQDR_OBS_CONCAT_INNER
+#undef VQDR_OBS_CONCAT
+
+#define VQDR_OBS_CONCAT_INNER(a, b) a##b
+#define VQDR_OBS_CONCAT(a, b) VQDR_OBS_CONCAT_INNER(a, b)
+
+#if defined(VQDR_OBS_DISABLED)
+
+#define VQDR_COUNTER_INC(name) ((void)0)
+#define VQDR_COUNTER_ADD(name, n) ((void)0)
+#define VQDR_HISTOGRAM_RECORD(name, value) ((void)0)
+#define VQDR_TRACE_SPAN(...) ((void)0)
+
+#else
+
+#define VQDR_COUNTER_INC(name) VQDR_COUNTER_ADD(name, 1)
+
+#define VQDR_COUNTER_ADD(name, n)                                       \
+  do {                                                                  \
+    static ::vqdr::obs::Counter& vqdr_obs_counter_at_site =             \
+        ::vqdr::obs::GetCounter(name);                                  \
+    vqdr_obs_counter_at_site.Add(static_cast<std::uint64_t>(n));        \
+  } while (0)
+
+#define VQDR_HISTOGRAM_RECORD(name, value)                              \
+  do {                                                                  \
+    static ::vqdr::obs::Histogram& vqdr_obs_histogram_at_site =         \
+        ::vqdr::obs::GetHistogram(name);                                \
+    vqdr_obs_histogram_at_site.Record(static_cast<std::uint64_t>(value)); \
+  } while (0)
+
+// VQDR_TRACE_SPAN("chase.level") or VQDR_TRACE_SPAN("chase.level", k):
+// an RAII span covering the rest of the enclosing scope.
+#define VQDR_TRACE_SPAN(...) \
+  ::vqdr::obs::TraceSpan VQDR_OBS_CONCAT(vqdr_trace_span_, __LINE__)(__VA_ARGS__)
+
+#endif  // VQDR_OBS_DISABLED

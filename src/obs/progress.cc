@@ -1,0 +1,54 @@
+#include "obs/progress.h"
+
+#include <memory>
+#include <mutex>
+
+namespace vqdr::obs {
+
+namespace {
+
+std::mutex g_mu;
+std::shared_ptr<ProgressCallback> g_callback;  // null when disabled
+
+std::shared_ptr<ProgressCallback> CurrentCallback() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_callback;
+}
+
+}  // namespace
+
+void SetProgressCallback(ProgressCallback callback) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_callback = std::make_shared<ProgressCallback>(std::move(callback));
+}
+
+void ClearProgressCallback() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_callback.reset();
+}
+
+bool ProgressEnabled() { return CurrentCallback() != nullptr; }
+
+bool ReportProgress(const char* phase, std::uint64_t current,
+                    std::uint64_t total) {
+  std::shared_ptr<ProgressCallback> cb = CurrentCallback();
+  if (cb == nullptr) return true;
+  ProgressEvent e;
+  e.phase = phase;
+  e.current = current;
+  e.total = total;
+  return (*cb)(e);
+}
+
+ProgressTicker::ProgressTicker(const char* phase, std::uint64_t stride,
+                               std::uint64_t total)
+    : phase_(phase),
+      stride_(stride == 0 ? 1 : stride),
+      total_(total),
+      enabled_(ProgressEnabled()) {}
+
+bool ProgressTicker::Report() {
+  return ReportProgress(phase_, count_, total_);
+}
+
+}  // namespace vqdr::obs

@@ -1,0 +1,75 @@
+#ifndef VQDR_OBS_PROGRESS_H_
+#define VQDR_OBS_PROGRESS_H_
+
+#include <cstdint>
+#include <functional>
+
+// Liveness reporting for the long-running calls (the bounded counterexample
+// search, deep chase chains). Install a callback once:
+//
+//   obs::SetProgressCallback([](const obs::ProgressEvent& e) {
+//     std::cerr << e.phase << ": " << e.current << "/" << e.total << "\n";
+//     return true;  // keep going; false requests cancellation
+//   });
+//
+// Instrumented loops report through a ProgressTicker, which throttles to one
+// callback invocation per `stride` ticks; with no callback installed a tick
+// is a branch on a cached bool.
+
+namespace vqdr::obs {
+
+struct ProgressEvent {
+  /// Dotted phase name, e.g. "search.instances", "chase.level".
+  const char* phase = "";
+  std::uint64_t current = 0;
+  /// 0 when the total is unknown (open-ended enumeration).
+  std::uint64_t total = 0;
+};
+
+/// Return false to ask the instrumented call to stop early. Callers see the
+/// cancellation as a budget-exhausted verdict, never a wrong answer.
+using ProgressCallback = std::function<bool(const ProgressEvent&)>;
+
+/// Installs the process-wide callback (replacing any previous one).
+void SetProgressCallback(ProgressCallback callback);
+
+/// Removes the callback; subsequent ticks are near-free again.
+void ClearProgressCallback();
+
+/// True when a callback is installed.
+bool ProgressEnabled();
+
+/// Invokes the callback, if any. Returns false only when the callback
+/// requested cancellation.
+bool ReportProgress(const char* phase, std::uint64_t current,
+                    std::uint64_t total);
+
+/// Per-loop throttle: reports every `stride` ticks. Captures whether a
+/// callback existed at construction, so a loop pays one branch per tick.
+class ProgressTicker {
+ public:
+  ProgressTicker(const char* phase, std::uint64_t stride,
+                 std::uint64_t total = 0);
+
+  /// Counts one unit of work. Returns false when the callback asked to stop.
+  bool Tick() {
+    ++count_;
+    if (!enabled_ || count_ % stride_ != 0) return true;
+    return Report();
+  }
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  bool Report();
+
+  const char* phase_;
+  std::uint64_t stride_;
+  std::uint64_t total_;
+  std::uint64_t count_ = 0;
+  bool enabled_;
+};
+
+}  // namespace vqdr::obs
+
+#endif  // VQDR_OBS_PROGRESS_H_

@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace vqdr::obs {
+
+namespace {
+
+struct TraceState {
+  std::mutex mu;
+  std::deque<TraceEvent> ring;
+  std::ofstream sink;
+  bool sink_open = false;
+  std::chrono::steady_clock::time_point epoch;
+  bool epoch_set = false;
+
+  static TraceState& Get() {
+    static TraceState* s = new TraceState;  // leaked: outlives static dtors
+    return *s;
+  }
+};
+
+// Single-branch gate read by every span constructor.
+std::atomic<bool> g_enabled{false};
+
+// Lazily applies VQDR_TRACE once per process, before the first gate read.
+std::once_flag g_env_once;
+
+void InitFromEnv() {
+  const char* path = std::getenv("VQDR_TRACE");
+  if (path != nullptr && path[0] != '\0') SetTraceSinkPath(path);
+}
+
+std::uint64_t MicrosSinceEpochLocked(TraceState& s) {
+  auto now = std::chrono::steady_clock::now();
+  if (!s.epoch_set) {
+    s.epoch = now;
+    s.epoch_set = true;
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - s.epoch)
+          .count());
+}
+
+thread_local int t_depth = 0;
+
+void WriteSinkLine(TraceState& s, const TraceEvent& e) {
+  std::string line = "{\"name\":";
+  internal::AppendJsonString(e.name, &line);
+  if (e.has_arg) {
+    line += ",\"arg\":";
+    line += std::to_string(e.arg);
+  }
+  line += ",\"start_us\":";
+  line += std::to_string(e.start_us);
+  line += ",\"dur_us\":";
+  line += std::to_string(e.dur_us);
+  line += ",\"depth\":";
+  line += std::to_string(e.depth);
+  line += "}\n";
+  s.sink << line;
+  s.sink.flush();
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  std::call_once(g_env_once, InitFromEnv);
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTracing() { g_enabled.store(true, std::memory_order_relaxed); }
+
+void DisableTracing() {
+  g_enabled.store(false, std::memory_order_relaxed);
+  CloseTraceSink();
+}
+
+bool SetTraceSinkPath(const std::string& path) {
+  TraceState& s = TraceState::Get();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.sink_open) {
+    s.sink.close();
+    s.sink_open = false;
+  }
+  s.sink.open(path, std::ios::out | std::ios::trunc);
+  if (!s.sink) return false;
+  s.sink_open = true;
+  g_enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void CloseTraceSink() {
+  TraceState& s = TraceState::Get();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.sink_open) {
+    s.sink.flush();
+    s.sink.close();
+    s.sink_open = false;
+  }
+}
+
+std::vector<TraceEvent> DrainTraceEvents() {
+  TraceState& s = TraceState::Get();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<TraceEvent> out(s.ring.begin(), s.ring.end());
+  s.ring.clear();
+  return out;
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) { Begin(); }
+
+TraceSpan::TraceSpan(const char* name, std::int64_t arg)
+    : name_(name), arg_(arg), has_arg_(true) {
+  Begin();
+}
+
+void TraceSpan::Begin() {
+  if (!TracingEnabled()) return;
+  active_ = true;
+  depth_ = t_depth++;
+  TraceState& s = TraceState::Get();
+  std::lock_guard<std::mutex> lock(s.mu);
+  start_us_ = MicrosSinceEpochLocked(s);
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  --t_depth;
+  TraceState& s = TraceState::Get();
+  std::lock_guard<std::mutex> lock(s.mu);
+  TraceEvent e;
+  e.name = name_;
+  e.arg = arg_;
+  e.has_arg = has_arg_;
+  e.start_us = start_us_;
+  e.dur_us = MicrosSinceEpochLocked(s) - start_us_;
+  e.depth = depth_;
+  if (s.ring.size() >= kTraceRingCapacity) s.ring.pop_front();
+  if (s.sink_open) WriteSinkLine(s, e);
+  s.ring.push_back(std::move(e));
+}
+
+}  // namespace vqdr::obs

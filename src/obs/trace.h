@@ -1,0 +1,89 @@
+#ifndef VQDR_OBS_TRACE_H_
+#define VQDR_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Scoped tracing for the solver stack. A span covers one phase of work
+// (a chase level, a containment check, a whole analysis battery):
+//
+//   VQDR_TRACE_SPAN("chase.level", k);
+//
+// times the rest of the enclosing scope against the monotonic clock.
+// Completed spans land in a fixed-size in-process ring buffer and, when a
+// JSONL sink is configured, are appended to it as one JSON object per line:
+//
+//   {"name":"chase.level","arg":2,"start_us":123,"dur_us":45,"depth":1}
+//
+// Spans are written on *completion*, so inner spans appear before the outer
+// span that contains them — readers reconstruct nesting from depth.
+//
+// The sink is selected with the VQDR_TRACE environment variable
+// (VQDR_TRACE=/tmp/trace.jsonl ./determinacy_tool ...) or programmatically
+// via SetTraceSinkPath. With neither configured and EnableTracing not
+// called, a span construction is a single relaxed atomic load.
+
+namespace vqdr::obs {
+
+/// A completed span.
+struct TraceEvent {
+  std::string name;
+  std::int64_t arg = 0;
+  bool has_arg = false;
+  /// Microseconds since the process trace epoch (first tracing activity).
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+  /// 0 for top-level spans, +1 per enclosing live span (per thread).
+  int depth = 0;
+};
+
+/// True when spans are being recorded (ring buffer and/or sink).
+bool TracingEnabled();
+
+/// Starts recording spans into the ring buffer (no file sink).
+void EnableTracing();
+
+/// Stops recording. An open sink is flushed and closed.
+void DisableTracing();
+
+/// Opens (truncating) a JSONL sink at `path` and enables tracing. Returns
+/// false if the file cannot be opened (tracing state is unchanged).
+bool SetTraceSinkPath(const std::string& path);
+
+/// Flushes and closes the sink; ring-buffer recording continues if enabled.
+void CloseTraceSink();
+
+/// Removes and returns every buffered event, oldest first. The ring holds
+/// the most recent kTraceRingCapacity events; older ones are dropped.
+std::vector<TraceEvent> DrainTraceEvents();
+
+inline constexpr std::size_t kTraceRingCapacity = 4096;
+
+/// RAII span. Use through VQDR_TRACE_SPAN; construct directly only when the
+/// macro seam is unavailable. `name` must outlive the span (string literals).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  TraceSpan(const char* name, std::int64_t arg);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin();
+
+  const char* name_;
+  std::int64_t arg_ = 0;
+  bool has_arg_ = false;
+  bool active_ = false;
+  int depth_ = 0;
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace vqdr::obs
+
+#include "obs/obs_macros.h"
+
+#endif  // VQDR_OBS_TRACE_H_

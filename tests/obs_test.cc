@@ -1,0 +1,256 @@
+// Tests for the observability layer: counter registry and snapshot/delta
+// semantics, histogram extremes, the trace ring buffer and JSONL sink
+// (including span nesting order), the progress hook, and the
+// VQDR_OBS_DISABLED macro seam — both modes compiled into this one file by
+// re-including obs/obs_macros.h.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/finite_search.h"
+#include "gen/workloads.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+
+namespace vqdr {
+namespace {
+
+// --- counters and snapshots ------------------------------------------------
+
+TEST(ObsMetrics, CounterRegistryHandsOutStableReferences) {
+  obs::Counter& a = obs::GetCounter("test.obs.stable");
+  obs::Counter& b = obs::GetCounter("test.obs.stable");
+  EXPECT_EQ(&a, &b);
+  std::uint64_t before = a.value();
+  b.Add(3);
+  EXPECT_EQ(a.value(), before + 3);
+}
+
+TEST(ObsMetrics, SnapshotDeltaReportsOnlyMovement) {
+  obs::Counter& moved = obs::GetCounter("test.obs.delta.moved");
+  obs::GetCounter("test.obs.delta.idle");  // registered but untouched
+
+  obs::MetricsSnapshot before = obs::SnapshotMetrics();
+  moved.Add(7);
+  obs::MetricsSnapshot delta = obs::SnapshotDelta(before);
+
+  EXPECT_EQ(delta.counters.count("test.obs.delta.idle"), 0u);
+  ASSERT_EQ(delta.counters.count("test.obs.delta.moved"), 1u);
+  EXPECT_EQ(delta.counters.at("test.obs.delta.moved"), 7u);
+}
+
+TEST(ObsMetrics, ResetZeroesButKeepsRegistration) {
+  obs::Counter& c = obs::GetCounter("test.obs.reset");
+  c.Add(5);
+  obs::ResetMetrics();
+  EXPECT_EQ(c.value(), 0u);
+  // The registry entry survives the reset and still snapshots.
+  obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+  ASSERT_EQ(snap.counters.count("test.obs.reset"), 1u);
+  EXPECT_EQ(snap.counters.at("test.obs.reset"), 0u);
+  c.Increment();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(ObsMetrics, HistogramTracksCountSumMinMax) {
+  obs::Histogram& h = obs::GetHistogram("test.obs.hist");
+  h.Reset();
+  h.Record(10);
+  h.Record(2);
+  h.Record(40);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 52u);
+  EXPECT_EQ(h.min(), 2u);
+  EXPECT_EQ(h.max(), 40u);
+
+  obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+  ASSERT_EQ(snap.histograms.count("test.obs.hist"), 1u);
+  EXPECT_EQ(snap.histograms.at("test.obs.hist").max, 40u);
+}
+
+TEST(ObsMetrics, SnapshotRendersToStringAndJson) {
+  obs::GetCounter("test.obs.render").Add(1);
+  obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+  EXPECT_NE(snap.ToString().find("test.obs.render="), std::string::npos);
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.render\":"), std::string::npos);
+}
+
+// --- macros (enabled mode) -------------------------------------------------
+// Compiled out under a -DVQDR_OBS=OFF build, where the macros are no-ops
+// from the first include on.
+#ifndef VQDR_OBS_DISABLED
+
+TEST(ObsMacros, EnabledMacrosBumpTheNamedCounter) {
+  std::uint64_t before = obs::GetCounter("test.obs.macro.live").value();
+  for (int i = 0; i < 4; ++i) {
+    VQDR_COUNTER_INC("test.obs.macro.live");
+  }
+  VQDR_COUNTER_ADD("test.obs.macro.live", 6);
+  EXPECT_EQ(obs::GetCounter("test.obs.macro.live").value(), before + 10);
+
+  VQDR_HISTOGRAM_RECORD("test.obs.macro.hist", 17);
+  EXPECT_GE(obs::GetHistogram("test.obs.macro.hist").count(), 1u);
+}
+
+#endif  // VQDR_OBS_DISABLED
+
+// --- tracing ---------------------------------------------------------------
+
+TEST(ObsTrace, RingBufferRecordsNestedSpansInnerFirst) {
+  obs::EnableTracing();
+  obs::DrainTraceEvents();  // discard anything earlier tests left behind
+  {
+    obs::TraceSpan outer("test.outer", 1);
+    { obs::TraceSpan inner("test.inner"); }
+  }
+  obs::DisableTracing();
+
+  std::vector<obs::TraceEvent> events = obs::DrainTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded on completion: the inner span lands first, one level
+  // deeper, and its lifetime nests inside the outer's.
+  EXPECT_EQ(events[0].name, "test.inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_FALSE(events[0].has_arg);
+  EXPECT_EQ(events[1].name, "test.outer");
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_TRUE(events[1].has_arg);
+  EXPECT_EQ(events[1].arg, 1);
+  EXPECT_GE(events[0].start_us, events[1].start_us);
+  EXPECT_LE(events[0].start_us + events[0].dur_us,
+            events[1].start_us + events[1].dur_us);
+}
+
+TEST(ObsTrace, JsonlSinkWritesOneWellFormedLinePerSpan) {
+  std::string path = ::testing::TempDir() + "/vqdr_obs_trace_test.jsonl";
+  ASSERT_TRUE(obs::SetTraceSinkPath(path));
+  {
+    obs::TraceSpan outer("sink.outer");
+    { obs::TraceSpan inner("sink.inner", 42); }
+  }
+  obs::DisableTracing();
+  obs::DrainTraceEvents();
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(file, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  // Inner completes (and is written) before outer; depth disambiguates.
+  EXPECT_EQ(lines[0].find("{\"name\":\"sink.inner\",\"arg\":42,"), 0u);
+  EXPECT_NE(lines[0].find("\"depth\":1}"), std::string::npos);
+  EXPECT_EQ(lines[1].find("{\"name\":\"sink.outer\","), 0u);
+  EXPECT_NE(lines[1].find("\"depth\":0}"), std::string::npos);
+  for (const std::string& l : lines) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+    EXPECT_NE(l.find("\"start_us\":"), std::string::npos);
+    EXPECT_NE(l.find("\"dur_us\":"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, DisabledSpansRecordNothing) {
+  obs::DisableTracing();
+  obs::DrainTraceEvents();
+  { VQDR_TRACE_SPAN("test.disabled"); }
+  EXPECT_TRUE(obs::DrainTraceEvents().empty());
+}
+
+// --- progress --------------------------------------------------------------
+
+TEST(ObsProgress, TickerThrottlesAndReportsPhase) {
+  std::vector<std::uint64_t> reported;
+  obs::SetProgressCallback([&](const obs::ProgressEvent& e) {
+    EXPECT_STREQ(e.phase, "test.progress");
+    EXPECT_EQ(e.total, 100u);
+    reported.push_back(e.current);
+    return true;
+  });
+  obs::ProgressTicker ticker("test.progress", /*stride=*/10, /*total=*/100);
+  for (int i = 0; i < 35; ++i) EXPECT_TRUE(ticker.Tick());
+  obs::ClearProgressCallback();
+  EXPECT_EQ(reported, (std::vector<std::uint64_t>{10, 20, 30}));
+  EXPECT_EQ(ticker.count(), 35u);
+}
+
+TEST(ObsProgress, CallbackCancellationStopsFiniteSearch) {
+  // A callback that cancels immediately turns the (huge) search into a
+  // budget-exhausted verdict after at most one stride of instances.
+  obs::SetProgressCallback(
+      [](const obs::ProgressEvent&) { return false; });
+  ViewSet views = PathViews(2);
+  EnumerationOptions options;
+  options.domain_size = 4;  // 2^16 instances; cancellation must cut it short
+  DeterminacySearchResult result = SearchDeterminacyCounterexample(
+      views, Query::FromCq(ChainQuery(3)), Schema{{"E", 2}}, options);
+  obs::ClearProgressCallback();
+  EXPECT_EQ(result.verdict, SearchVerdict::kBudgetExhausted);
+  EXPECT_LE(result.instances_examined, 1024u);
+}
+
+TEST(ObsProgress, SearchTallyIsFedFromObsCounter) {
+  std::uint64_t before = obs::GetCounter("search.instances").value();
+  ViewSet views = PathViews(2);
+  EnumerationOptions options;
+  options.domain_size = 1;
+  DeterminacySearchResult result = SearchDeterminacyCounterexample(
+      views, Query::FromCq(ChainQuery(2)), Schema{{"E", 2}}, options);
+  std::uint64_t after = obs::GetCounter("search.instances").value();
+  EXPECT_GT(result.instances_examined, 0u);
+  EXPECT_EQ(after - before, result.instances_examined);
+}
+
+}  // namespace
+}  // namespace vqdr
+
+// --- the macro seam: disabled mode in the same translation unit ------------
+
+#define VQDR_OBS_DISABLED
+#include "obs/obs_macros.h"  // macros are now no-ops
+
+namespace vqdr {
+namespace {
+
+TEST(ObsMacros, DisabledMacrosAreNoOps) {
+  std::uint64_t counter_before = obs::GetCounter("test.obs.macro.dead").value();
+  std::uint64_t hist_before = obs::GetHistogram("test.obs.macro.hist").count();
+  obs::EnableTracing();
+  obs::DrainTraceEvents();
+
+  VQDR_COUNTER_INC("test.obs.macro.dead");
+  VQDR_COUNTER_ADD("test.obs.macro.dead", 100);
+  VQDR_HISTOGRAM_RECORD("test.obs.macro.hist", 5);
+  { VQDR_TRACE_SPAN("test.obs.macro.dead.span"); }
+
+  EXPECT_EQ(obs::GetCounter("test.obs.macro.dead").value(), counter_before);
+  EXPECT_EQ(obs::GetHistogram("test.obs.macro.hist").count(), hist_before);
+  EXPECT_TRUE(obs::DrainTraceEvents().empty());
+  obs::DisableTracing();
+}
+
+}  // namespace
+}  // namespace vqdr
+
+#undef VQDR_OBS_DISABLED
+#include "obs/obs_macros.h"  // restore for anything below
+
+namespace vqdr {
+namespace {
+
+TEST(ObsMacros, ReincludeRestoresLiveMacros) {
+  std::uint64_t before = obs::GetCounter("test.obs.macro.restored").value();
+  VQDR_COUNTER_INC("test.obs.macro.restored");
+  EXPECT_EQ(obs::GetCounter("test.obs.macro.restored").value(), before + 1);
+}
+
+}  // namespace
+}  // namespace vqdr

@@ -36,6 +36,33 @@ TEST_F(ReportFixture, DeterminedCaseProducesRewriting) {
   EXPECT_NE(report.Summary().find("DETERMINED"), std::string::npos);
 }
 
+TEST_F(ReportFixture, SummaryIncludesMetricsBlock) {
+  ViewSet views = PathViews(2);
+  ConjunctiveQuery q = ChainQuery(3);
+  DeterminacyAnalysisOptions opts;
+  opts.search.domain_size = 2;
+  DeterminacyReport report =
+      AnalyzeDeterminacy(views, q, Schema{{"E", 2}}, opts);
+
+#ifndef VQDR_OBS_DISABLED
+  // The battery always exercises the chase decision, so its metrics delta
+  // must carry the determinacy and homomorphism counters.
+  EXPECT_FALSE(report.metrics.empty());
+  EXPECT_GE(report.metrics.counters["determinacy.decisions"], 1u);
+  EXPECT_GE(report.metrics.counters["cq.hom.attempts"], 1u);
+
+  std::string summary = report.Summary();
+  EXPECT_NE(summary.find("[metrics]"), std::string::npos);
+  EXPECT_NE(summary.find("determinacy.decisions="), std::string::npos);
+#else
+  // Under -DVQDR_OBS=OFF the macro layer is compiled out, so macro-ticked
+  // counters never move; only the direct-API counters that feed result
+  // fields (search.instances, rewrite.candidates, ...) can appear.
+  EXPECT_EQ(report.metrics.counters.count("determinacy.decisions"), 0u);
+  EXPECT_EQ(report.metrics.counters.count("cq.hom.attempts"), 0u);
+#endif
+}
+
 TEST_F(ReportFixture, RefutedCaseCarriesCounterexample) {
   ViewSet views;
   views.Add("V", Query::FromCq(Cq("V(x) :- E(x, y)")));
