@@ -1,0 +1,49 @@
+#include "core/determinacy_batch.h"
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/progress.h"
+#include "obs/trace.h"
+
+#ifndef VQDR_PAR_DISABLED
+#include "par/pool.h"
+#endif
+
+namespace vqdr {
+
+std::vector<UnrestrictedDeterminacyResult> DecideUnrestrictedDeterminacyBatch(
+    const std::vector<DeterminacyBatchItem>& items, int threads) {
+  VQDR_TRACE_SPAN("determinacy.batch");
+  std::vector<UnrestrictedDeterminacyResult> results(items.size());
+  const std::uint64_t total = items.size();
+
+#ifndef VQDR_PAR_DISABLED
+  if (threads == 0) threads = par::DefaultThreads();
+  if (threads > 1 && items.size() > 1) {
+    std::atomic<std::uint64_t> done{0};
+    par::ThreadPool pool(threads);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      pool.Submit([&items, &results, &done, total, i] {
+        results[i] =
+            DecideUnrestrictedDeterminacy(items[i].views, items[i].query);
+        std::uint64_t completed =
+            done.fetch_add(1, std::memory_order_acq_rel) + 1;
+        // Progress only: a half-decided batch has no sound meaning, so a
+        // false (cancel-requesting) return is deliberately ignored.
+        obs::ReportProgress("determinacy.batch", completed, total);
+      });
+    }
+    pool.Wait();
+    return results;
+  }
+#endif
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    results[i] = DecideUnrestrictedDeterminacy(items[i].views, items[i].query);
+    obs::ReportProgress("determinacy.batch", i + 1, total);
+  }
+  return results;
+}
+
+}  // namespace vqdr

@@ -1,0 +1,33 @@
+#ifndef VQDR_CORE_DETERMINACY_BATCH_H_
+#define VQDR_CORE_DETERMINACY_BATCH_H_
+
+#include <vector>
+
+#include "core/determinacy.h"
+#include "cq/conjunctive_query.h"
+#include "views/view_set.h"
+
+namespace vqdr {
+
+/// One (V, Q) pair submitted to the batch decider.
+struct DeterminacyBatchItem {
+  ViewSet views;
+  ConjunctiveQuery query{"Q", {}};
+};
+
+/// Decides unrestricted determinacy for every item, concurrently.
+///
+/// results[i] is exactly DecideUnrestrictedDeterminacy(items[i].views,
+/// items[i].query) — each decision is a pure function of its item, so the
+/// output is independent of scheduling and of `threads`. threads follows the
+/// usual convention: 1 = a plain serial loop, 0 = par::DefaultThreads(),
+/// N > 1 = one pool task per item. Progress is reported per completed item
+/// on the "determinacy.batch" phase; the batch always processes every item
+/// (a partially-decided batch has no sound meaning, so progress callbacks
+/// cannot cancel it mid-flight).
+std::vector<UnrestrictedDeterminacyResult> DecideUnrestrictedDeterminacyBatch(
+    const std::vector<DeterminacyBatchItem>& items, int threads = 0);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CORE_DETERMINACY_BATCH_H_

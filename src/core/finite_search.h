@@ -39,8 +39,14 @@ enum class SearchVerdict {
 struct DeterminacySearchResult {
   SearchVerdict verdict = SearchVerdict::kNoneWithinBound;
   std::optional<DeterminacyCounterexample> counterexample;
-  /// Fed from the `search.instances` obs counter (the delta across this
-  /// call), not a parallel tally.
+  /// The serial-order prefix length this verdict rests on: with a
+  /// counterexample at enumeration index j this is j + 1, otherwise the
+  /// number of instances covered. Deterministic at every thread count (it
+  /// is computed from the merged per-worker records, never from a shared
+  /// counter delta that concurrent searches could pollute). The
+  /// `search.instances` obs counter separately sums the *actual* work across
+  /// workers, which can exceed this value when workers race past the
+  /// earliest conflict before the pruning hint lands.
   std::uint64_t instances_examined = 0;
 };
 
@@ -48,6 +54,12 @@ struct DeterminacySearchResult {
 /// image, and reports the first group on which Q disagrees. Reports
 /// liveness through obs::ReportProgress ("search.instances"); a progress
 /// callback returning false stops the search with kBudgetExhausted.
+///
+/// With options.threads > 1 (and VQDR_PAR on) the instance space is sharded
+/// across a work-stealing pool; the merge is deterministic and
+/// lowest-index-wins, so the verdict *and* the counterexample pair are
+/// identical to the serial sweep's. threads == 1 runs the original serial
+/// code path unchanged.
 DeterminacySearchResult SearchDeterminacyCounterexample(
     const ViewSet& views, const Query& q, const Schema& base,
     const EnumerationOptions& options);
@@ -70,6 +82,9 @@ struct MonotonicitySearchResult {
 
 /// Searches for a pair witnessing non-monotonicity of the induced mapping
 /// Q_V. Quadratic in the number of enumerated instances — keep bounds small.
+/// With options.threads > 1 both the instance evaluation and the pair scan
+/// shard across a work-stealing pool; the merged violation is the serial
+/// row-major first hit.
 MonotonicitySearchResult SearchMonotonicityViolation(
     const ViewSet& views, const Query& q, const Schema& base,
     const EnumerationOptions& options);

@@ -1,5 +1,6 @@
 #include "cq/containment.h"
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <vector>
@@ -9,6 +10,10 @@
 #include "cq/matcher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+
+#ifndef VQDR_PAR_DISABLED
+#include "par/pool.h"
+#endif
 
 namespace vqdr {
 
@@ -53,49 +58,18 @@ struct PatternInstance {
   Tuple frozen_head;
 };
 
-// Enumerates canonical databases of `q1` sufficient for testing q1 ⊆ q2.
-//
-// For pure q1/q2, the single all-distinct freezing is complete
-// (Chandra–Merlin). With disequalities on either side, completeness needs
-// every *identification pattern* of q1's variables: every partition of the
-// variables, with each block optionally identified with one of the constants
-// in play (van der Meyden's classical test for CQ≠ containment). Patterns
-// that contradict q1's disequalities are skipped.
-//
-// Calls `body` per canonical database; a false return stops early.
-// Returns true if every invocation returned true.
-bool ForEachCanonicalDb(
+// Enumerates the collapsed queries of every identification pattern of q1's
+// variables: every partition of the variables (restricted growth strings),
+// with each block optionally identified with one of the constants in play
+// (at most one block per constant — two blocks on the same constant is a
+// coarser partition handled elsewhere). Calls `body` per collapsed query; a
+// false return stops early. Returns true if every invocation returned true.
+bool ForEachIdentificationPattern(
     const ConjunctiveQuery& q1, const std::set<Value>& all_constants,
-    bool need_patterns,
-    const std::function<bool(const PatternInstance&)>& body) {
-  ValueFactory base_factory;
-  for (Value c : all_constants) base_factory.NoteUsed(c);
-
-  auto run_pattern = [&](const ConjunctiveQuery& collapsed) -> bool {
-    VQDR_COUNTER_INC("cq.containment.canonical_dbs");
-    // Skip patterns inconsistent with q1's disequalities.
-    for (const TermComparison& c : collapsed.disequalities()) {
-      if (c.lhs == c.rhs) return true;
-    }
-    ConjunctiveQuery positive(collapsed.head_name(), collapsed.head_terms());
-    for (const Atom& a : collapsed.atoms()) positive.AddAtom(a);
-    ValueFactory factory = base_factory;
-    FrozenQuery frozen = Freeze(positive, factory);
-    PatternInstance pattern;
-    pattern.instance = std::move(frozen.instance);
-    pattern.frozen_head = std::move(frozen.frozen_head);
-    return body(pattern);
-  };
-
-  if (!need_patterns) return run_pattern(q1);
-
+    const std::function<bool(const ConjunctiveQuery&)>& body) {
   std::vector<std::string> vars = q1.AllVariables();
   std::vector<Value> constants(all_constants.begin(), all_constants.end());
 
-  // Generate set partitions of vars via restricted growth strings, then for
-  // each partition choose, per block, "fresh" or one of the constants (at
-  // most one block per constant — two blocks on the same constant is a
-  // coarser partition handled elsewhere).
   std::vector<int> blocks(vars.size(), 0);
   std::function<bool(std::size_t, int)> enumerate_partitions;
   auto run_with_assignment = [&](int block_count) -> bool {
@@ -117,7 +91,7 @@ bool ForEachCanonicalDb(
         for (std::size_t j = 0; j < vars.size(); ++j) {
           subst[vars[j]] = rep[blocks[j]];
         }
-        return run_pattern(SubstituteTerms(q1, subst));
+        return body(SubstituteTerms(q1, subst));
       }
       if (!assign(b + 1)) return false;  // fresh
       for (std::size_t ci = 0; ci < constants.size(); ++ci) {
@@ -148,6 +122,87 @@ bool ForEachCanonicalDb(
   return enumerate_partitions(0, 0);
 }
 
+// Freezes one collapsed query and applies `check` to the resulting canonical
+// database. Patterns inconsistent with the collapsed disequalities are
+// vacuously satisfied. Pure (thread-safe given a thread-safe `check`):
+// everything it touches is local or const.
+bool CheckPattern(const ConjunctiveQuery& collapsed,
+                  const ValueFactory& base_factory,
+                  const std::function<bool(const PatternInstance&)>& check) {
+  VQDR_COUNTER_INC("cq.containment.canonical_dbs");
+  for (const TermComparison& c : collapsed.disequalities()) {
+    if (c.lhs == c.rhs) return true;
+  }
+  ConjunctiveQuery positive(collapsed.head_name(), collapsed.head_terms());
+  for (const Atom& a : collapsed.atoms()) positive.AddAtom(a);
+  ValueFactory factory = base_factory;
+  FrozenQuery frozen = Freeze(positive, factory);
+  PatternInstance pattern;
+  pattern.instance = std::move(frozen.instance);
+  pattern.frozen_head = std::move(frozen.frozen_head);
+  return check(pattern);
+}
+
+// Tests `body` on every canonical database of `q1` sufficient for deciding
+// q1 ⊆ q2: for pure q1/q2 the single all-distinct freezing is complete
+// (Chandra–Merlin); with disequalities on either side, completeness needs
+// every identification pattern (van der Meyden's classical test for CQ≠
+// containment). Returns true iff every canonical database passed.
+//
+// threads > 1 fans the identification-pattern sweep across a work-stealing
+// pool in bounded batches with early exit on the first failing pattern (the
+// witness of non-containment); `body` then runs concurrently and must be
+// thread-safe. The verdict is the same conjunction either way.
+bool ForEachCanonicalDb(
+    const ConjunctiveQuery& q1, const std::set<Value>& all_constants,
+    bool need_patterns, int threads,
+    const std::function<bool(const PatternInstance&)>& body) {
+  ValueFactory base_factory;
+  for (Value c : all_constants) base_factory.NoteUsed(c);
+
+  // The all-distinct freezing is one pattern; nothing to fan out.
+  if (!need_patterns) return CheckPattern(q1, base_factory, body);
+
+#ifndef VQDR_PAR_DISABLED
+  if (threads > 1) {
+    const std::size_t batch_size =
+        static_cast<std::size_t>(threads) * 16;
+    std::vector<ConjunctiveQuery> batch;
+    batch.reserve(batch_size);
+    std::atomic<bool> witness_found{false};
+    par::ThreadPool pool(threads);
+    auto flush = [&]() -> bool {
+      for (ConjunctiveQuery& collapsed : batch) {
+        pool.Submit([&witness_found, &base_factory, &body, &collapsed] {
+          if (witness_found.load(std::memory_order_relaxed)) return;
+          if (!CheckPattern(collapsed, base_factory, body)) {
+            witness_found.store(true, std::memory_order_relaxed);
+          }
+        });
+      }
+      pool.Wait();
+      batch.clear();
+      return !witness_found.load(std::memory_order_relaxed);
+    };
+    bool kept_going = ForEachIdentificationPattern(
+        q1, all_constants, [&](const ConjunctiveQuery& collapsed) {
+          batch.push_back(collapsed);
+          if (batch.size() >= batch_size) return flush();
+          return true;
+        });
+    if (!kept_going) return false;
+    return flush();
+  }
+#else
+  (void)threads;
+#endif
+
+  return ForEachIdentificationPattern(
+      q1, all_constants, [&](const ConjunctiveQuery& collapsed) {
+        return CheckPattern(collapsed, base_factory, body);
+      });
+}
+
 std::set<Value> UnionConstants(const ConjunctiveQuery& a,
                                const ConjunctiveQuery& b) {
   std::set<Value> constants = a.Constants();
@@ -155,9 +210,21 @@ std::set<Value> UnionConstants(const ConjunctiveQuery& a,
   return constants;
 }
 
+// Maps the options' thread request to an effective worker count: 0 means
+// "ask the machine", and a disabled par subsystem always means serial.
+int ResolveThreads(const CqContainmentOptions& options) {
+#ifdef VQDR_PAR_DISABLED
+  return 1;
+#else
+  if (options.threads == 0) return par::DefaultThreads();
+  return options.threads < 1 ? 1 : options.threads;
+#endif
+}
+
 }  // namespace
 
-bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                   const CqContainmentOptions& options) {
   VQDR_COUNTER_INC("cq.containment.checks");
   VQDR_TRACE_SPAN("cq.containment");
   VQDR_CHECK(!q1.UsesNegation() && !q2.UsesNegation())
@@ -174,17 +241,23 @@ bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
 
   bool need_patterns = n1.UsesDisequality() || n2.UsesDisequality();
   return ForEachCanonicalDb(n1, UnionConstants(n1, n2), need_patterns,
+                            ResolveThreads(options),
                             [&](const PatternInstance& pattern) {
                               return CqAnswerContains(n2, pattern.instance,
                                                       pattern.frozen_head);
                             });
 }
 
+bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return CqContainedIn(q1, q2, CqContainmentOptions{});
+}
+
 bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
   return CqContainedIn(q1, q2) && CqContainedIn(q2, q1);
 }
 
-bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2) {
+bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2,
+                    const CqContainmentOptions& options) {
   VQDR_COUNTER_INC("cq.containment.ucq_checks");
   VQDR_TRACE_SPAN("cq.containment.ucq");
   VQDR_CHECK(!q1.empty() && !q2.empty()) << "containment with empty UCQ";
@@ -210,7 +283,7 @@ bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2) {
     bool need_patterns = normalized.UsesDisequality() || q2_uses_diseq;
 
     bool contained = ForEachCanonicalDb(
-        normalized, constants, need_patterns,
+        normalized, constants, need_patterns, ResolveThreads(options),
         [&](const PatternInstance& pattern) {
           Relation answer = EvaluateUcq(q2, pattern.instance);
           return answer.Contains(pattern.frozen_head);
@@ -218,6 +291,10 @@ bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2) {
     if (!contained) return false;
   }
   return true;
+}
+
+bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2) {
+  return UcqContainedIn(q1, q2, CqContainmentOptions{});
 }
 
 bool UcqEquivalent(const UnionQuery& q1, const UnionQuery& q2) {

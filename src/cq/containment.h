@@ -6,6 +6,18 @@
 
 namespace vqdr {
 
+/// Options for the containment tests.
+struct CqContainmentOptions {
+  /// Worker count for the identification-pattern sweep that CQ(≠)
+  /// containment performs: 1 = the original serial sweep, 0 =
+  /// par::DefaultThreads(), N > 1 = fan the patterns across a work-stealing
+  /// pool with early exit on the first witness of non-containment. The
+  /// verdict is identical at every thread count (it is a conjunction over
+  /// patterns, so order cannot matter). Pure CQs have a single canonical
+  /// database and never fan out.
+  int threads = 1;
+};
+
 /// Q1 ⊆ Q2 for conjunctive queries (the Chandra–Merlin canonical-instance
 /// test [9]). Handles constants and disequalities exactly: with ≠ present,
 /// all variable-identification patterns of Q1 consistent with its
@@ -15,6 +27,8 @@ namespace vqdr {
 /// For (U)CQ(≠), finite and unrestricted containment coincide, so a single
 /// routine serves both settings.
 bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                   const CqContainmentOptions& options);
 
 /// Q1 ≡ Q2 (containment both ways).
 bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
@@ -22,6 +36,8 @@ bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
 /// UCQ containment (Sagiv–Yannakakis): Q1 ⊆ Q2 iff every canonical instance
 /// of every disjunct of Q1 satisfies Q2.
 bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2);
+bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2,
+                    const CqContainmentOptions& options);
 
 /// UCQ equivalence.
 bool UcqEquivalent(const UnionQuery& q1, const UnionQuery& q2);

@@ -79,6 +79,88 @@ EnumerationOutcome ForEachInstanceOver(
   return outcome;
 }
 
+InstanceSpace::InstanceSpace(const Schema& schema,
+                             const std::vector<Value>& universe)
+    : schema_(schema) {
+  int total_bits = 0;
+  for (const RelationDecl& d : schema_.decls()) {
+    pools_.push_back(UniverseTuples(d.arity, universe));
+    std::size_t bits = pools_.back().size();
+    // Mirrors the ForEachInstanceOver bail-out, plus a product-overflow
+    // guard: indices must fit comfortably in 64 bits.
+    if (bits >= 63u) {
+      indexable_ = false;
+      return;
+    }
+    total_bits += static_cast<int>(bits);
+    if (total_bits >= 63) {
+      indexable_ = false;
+      return;
+    }
+  }
+  total_ = 1ull << total_bits;
+}
+
+void InstanceSpace::DecodeMasks(std::uint64_t index,
+                                std::vector<std::uint64_t>* masks) const {
+  masks->assign(pools_.size(), 0);
+  // Relation 0 is the most significant digit (the serial recursion's
+  // outermost loop), so decode from the last relation upward.
+  for (std::size_t i = pools_.size(); i-- > 0;) {
+    std::uint64_t radix = 1ull << pools_[i].size();
+    (*masks)[i] = index % radix;
+    index /= radix;
+  }
+}
+
+Relation InstanceSpace::RelationForMask(std::size_t i,
+                                        std::uint64_t mask) const {
+  Relation rel(schema_.decls()[i].arity);
+  for (std::size_t t = 0; t < pools_[i].size(); ++t) {
+    if (mask & (1ull << t)) rel.Insert(pools_[i][t]);
+  }
+  return rel;
+}
+
+Instance InstanceSpace::At(std::uint64_t index) const {
+  VQDR_CHECK(indexable_) << "instance space is not indexable";
+  VQDR_CHECK(index < total_) << "instance index out of range";
+  std::vector<std::uint64_t> masks;
+  DecodeMasks(index, &masks);
+  Instance current(schema_);
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    current.Set(schema_.decls()[i].name, RelationForMask(i, masks[i]));
+  }
+  return current;
+}
+
+void InstanceSpace::ForRange(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<bool(std::uint64_t, const Instance&)>& body) const {
+  VQDR_CHECK(indexable_) << "instance space is not indexable";
+  if (begin >= end) return;
+  VQDR_CHECK(end <= total_) << "instance range out of bounds";
+
+  std::vector<std::uint64_t> masks;
+  DecodeMasks(begin, &masks);
+  Instance current(schema_);
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    current.Set(schema_.decls()[i].name, RelationForMask(i, masks[i]));
+  }
+  for (std::uint64_t index = begin;; ) {
+    if (!body(index, current)) return;
+    if (++index == end) return;
+    // Odometer increment, least-significant relation first; only relations
+    // whose digit changed get rebuilt.
+    for (std::size_t i = pools_.size(); i-- > 0;) {
+      std::uint64_t radix = 1ull << pools_[i].size();
+      masks[i] = (masks[i] + 1) % radix;
+      current.Set(schema_.decls()[i].name, RelationForMask(i, masks[i]));
+      if (masks[i] != 0) break;
+    }
+  }
+}
+
 EnumerationOutcome ForEachInstance(
     const Schema& schema, const EnumerationOptions& options,
     const std::function<bool(const Instance&)>& body) {

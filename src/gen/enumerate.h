@@ -18,6 +18,13 @@ struct EnumerationOptions {
   /// Hard cap on the number of instances visited; enumeration stops (and
   /// reports truncation) beyond it.
   std::uint64_t max_instances = 1ull << 22;
+
+  /// Worker count for the bounded searches built on this enumeration
+  /// (core/finite_search): 1 = the original serial code path, 0 =
+  /// par::DefaultThreads(), N > 1 = shard the instance space across a
+  /// work-stealing pool of N workers with a deterministic lowest-index-wins
+  /// merge. Plain ForEachInstance* enumeration ignores this field.
+  int threads = 1;
 };
 
 /// Result flag: did the enumeration cover the whole space?
@@ -46,6 +53,49 @@ EnumerationOutcome ForEachInstanceOver(
     const Schema& schema, const std::vector<Value>& universe,
     std::uint64_t max_instances,
     const std::function<bool(const Instance&)>& body);
+
+/// Random access into the instance space ForEachInstanceOver walks: the
+/// cross product of per-relation tuple-subset choices, with relation 0 the
+/// most significant digit and subset masks ascending. `At(k)` (and
+/// `ForRange`, which visits a contiguous index window) produce exactly the
+/// k-th instance ForEachInstanceOver would pass to its body — the property
+/// the parallel searches rely on to shard the space across workers while
+/// returning the same first counterexample as the serial sweep.
+class InstanceSpace {
+ public:
+  InstanceSpace(const Schema& schema, const std::vector<Value>& universe);
+
+  /// False when some relation's tuple pool has 2^63+ subsets or the total
+  /// index range overflows 2^62 — the same spaces the serial enumeration
+  /// refuses or can never finish. Indexed access is then unavailable and
+  /// callers must fall back to the serial sweep.
+  bool indexable() const { return indexable_; }
+
+  /// Number of instances in the space. Valid only when indexable().
+  std::uint64_t total() const { return total_; }
+
+  const Schema& schema() const { return schema_; }
+
+  /// The instance at `index` in enumeration order. Requires indexable() and
+  /// index < total().
+  Instance At(std::uint64_t index) const;
+
+  /// Visits indices [begin, end) in ascending order; a false return from
+  /// `body` stops early. Amortizes decoding: only relations whose subset
+  /// mask changed between neighbours are rebuilt.
+  void ForRange(
+      std::uint64_t begin, std::uint64_t end,
+      const std::function<bool(std::uint64_t, const Instance&)>& body) const;
+
+ private:
+  void DecodeMasks(std::uint64_t index, std::vector<std::uint64_t>* masks) const;
+  Relation RelationForMask(std::size_t i, std::uint64_t mask) const;
+
+  Schema schema_;
+  std::vector<std::vector<Tuple>> pools_;
+  bool indexable_ = true;
+  std::uint64_t total_ = 1;
+};
 
 }  // namespace vqdr
 

@@ -1,0 +1,58 @@
+#include "par/shard.h"
+
+#include "obs/progress.h"
+
+namespace vqdr::par {
+
+ShardPlan PlanShards(std::uint64_t total, int threads,
+                     std::uint64_t min_chunk, std::uint64_t max_chunk) {
+  if (threads < 1) threads = 1;
+  if (min_chunk < 1) min_chunk = 1;
+  if (max_chunk < min_chunk) max_chunk = min_chunk;
+
+  ShardPlan plan;
+  plan.total = total;
+  if (total == 0) {
+    plan.chunk = min_chunk;
+    plan.num_chunks = 0;
+    return plan;
+  }
+  // ~8 chunks per worker gives the stealer room to balance without drowning
+  // the pool in tiny tasks.
+  std::uint64_t target_chunks =
+      static_cast<std::uint64_t>(threads) * 8;
+  std::uint64_t chunk = (total + target_chunks - 1) / target_chunks;
+  if (chunk < min_chunk) chunk = min_chunk;
+  if (chunk > max_chunk) chunk = max_chunk;
+  plan.chunk = chunk;
+  plan.num_chunks = (total + chunk - 1) / chunk;
+  return plan;
+}
+
+OpContext::OpContext(const char* phase, std::uint64_t total,
+                     std::uint64_t stride)
+    : phase_(phase),
+      total_(total),
+      stride_(stride == 0 ? 1 : stride),
+      enabled_(obs::ProgressEnabled()),
+      next_report_(stride == 0 ? 1 : stride) {}
+
+bool OpContext::AddProgress(std::uint64_t n) {
+  std::uint64_t done = done_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (!enabled_) return !cancelled();
+  if (done >= next_report_.load(std::memory_order_relaxed)) {
+    // One reporter at a time; a worker that loses the race just skips the
+    // report (the winner carries the aggregate count anyway).
+    if (report_mu_.try_lock()) {
+      std::lock_guard<std::mutex> lock(report_mu_, std::adopt_lock);
+      std::uint64_t next = next_report_.load(std::memory_order_relaxed);
+      if (done >= next) {
+        next_report_.store(done + stride_, std::memory_order_relaxed);
+        if (!obs::ReportProgress(phase_, done, total_)) Cancel();
+      }
+    }
+  }
+  return !cancelled();
+}
+
+}  // namespace vqdr::par

@@ -1,0 +1,111 @@
+#ifndef VQDR_PAR_SHARD_H_
+#define VQDR_PAR_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+// Deterministic sharding and merge primitives on top of par/pool.h.
+//
+// The contract every parallel engine in this library honours: the *answer*
+// is a pure function of the input, never of the schedule. The pieces here
+// make that cheap to get right:
+//
+//  * ShardPlan/PlanShards — a chunking of an index space [0, total) that
+//    depends only on (total, threads), so a run at a given thread count
+//    always produces the same chunks, and merged results can be assembled
+//    in chunk order.
+//  * FirstHit — a monotonically-decreasing atomic index used as a *pruning
+//    hint*: once some worker has found a hit at index i, chunks that start
+//    beyond i can be skipped, because the lowest-index hit wins the merge
+//    and every candidate in such a chunk has a larger index. Skipping is a
+//    pure optimisation; the merge never reads the hint.
+//  * OpContext — per-operation cancellation + aggregated progress reporting
+//    riding the process-wide obs::ReportProgress hook. Workers report
+//    batches of completed units; a callback returning false flips the
+//    cancel flag, which workers poll at chunk/stride granularity.
+
+namespace vqdr::par {
+
+/// A fixed chunking of [0, total). Chunk c covers [Begin(c), End(c)).
+struct ShardPlan {
+  std::uint64_t total = 0;
+  std::uint64_t chunk = 1;
+  std::uint64_t num_chunks = 0;
+
+  std::uint64_t Begin(std::uint64_t c) const { return c * chunk; }
+  std::uint64_t End(std::uint64_t c) const {
+    std::uint64_t e = (c + 1) * chunk;
+    return e < total ? e : total;
+  }
+  std::uint64_t Size(std::uint64_t c) const { return End(c) - Begin(c); }
+};
+
+/// Plans chunks for `total` units across `threads` workers. Deterministic in
+/// (total, threads): aims for ~8 chunks per worker (so stealing can balance
+/// uneven chunks) with the chunk size clamped to [min_chunk, max_chunk].
+ShardPlan PlanShards(std::uint64_t total, int threads,
+                     std::uint64_t min_chunk = 16,
+                     std::uint64_t max_chunk = 4096);
+
+/// A concurrent lowest-index-wins cell. Workers publish candidate indices;
+/// best() only ever decreases. Payloads are kept in per-chunk storage and
+/// resolved by the deterministic merge — this cell is just the pruning hint.
+class FirstHit {
+ public:
+  static constexpr std::uint64_t kNone = ~0ull;
+
+  /// Lowers the best index to `index` if it improves it. Returns true when
+  /// `index` became the new best.
+  bool TryImprove(std::uint64_t index) {
+    std::uint64_t cur = best_.load(std::memory_order_relaxed);
+    while (index < cur) {
+      if (best_.compare_exchange_weak(cur, index,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::uint64_t best() const { return best_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> best_{kNone};
+};
+
+/// Shared state of one parallel operation: a cancel flag plus aggregated
+/// progress, reported through obs::ReportProgress under the operation's
+/// phase name. Reports are throttled to one per `stride` completed units and
+/// serialized across workers (progress callbacks were written for
+/// single-threaded tickers; they never see concurrent invocations).
+class OpContext {
+ public:
+  OpContext(const char* phase, std::uint64_t total, std::uint64_t stride);
+
+  /// Records `n` completed units. May invoke the progress callback; if the
+  /// callback asks to stop, the operation is cancelled. Returns false once
+  /// cancelled — callers should unwind at the next safe point.
+  bool AddProgress(std::uint64_t n);
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t done() const { return done_.load(std::memory_order_relaxed); }
+
+ private:
+  const char* phase_;
+  std::uint64_t total_;
+  std::uint64_t stride_;
+  bool enabled_;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> next_report_;
+  std::mutex report_mu_;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace vqdr::par
+
+#endif  // VQDR_PAR_SHARD_H_

@@ -1,0 +1,241 @@
+// Differential battery for the parallel engines: on seeded random
+// (views, query, bound) triples, every parallel code path must return
+// *exactly* the serial answer — same verdict, same first counterexample,
+// same examined count — at every thread count. 200 search triples plus
+// containment/monotonicity/batch sweeps.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/determinacy.h"
+#include "core/determinacy_batch.h"
+#include "core/finite_search.h"
+#include "cq/containment.h"
+#include "gen/random_query.h"
+#include "gen/workloads.h"
+
+namespace vqdr {
+namespace {
+
+// One random (V, Q, bound) triple, deterministic in the seed.
+struct SearchTriple {
+  ViewSet views;
+  Query q{Query::FromCq(ConjunctiveQuery{"Q", {}})};
+  Schema base{{"E", 2}, {"P", 1}};
+  EnumerationOptions options;
+};
+
+SearchTriple MakeTriple(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomCqOptions copts;  // schema {E/2, P/1}
+  SearchTriple t;
+  t.base = copts.schema;
+  t.views = RandomCqViews(rng, copts, 1 + static_cast<int>(seed % 2));
+  t.q = Query::FromCq(RandomCq(rng, copts));
+  t.options.domain_size = 2;  // 64 instances over {E/2, P/1}
+  // A third of the triples truncate the sweep, exercising the budget-merge
+  // path; bounds straddle the 64-instance space on both sides.
+  if (seed % 3 == 0) {
+    t.options.max_instances = 1 + seed % 80;
+  }
+  return t;
+}
+
+void ExpectSameSearch(const DeterminacySearchResult& serial,
+                      const DeterminacySearchResult& par, int threads,
+                      std::uint64_t seed) {
+  SCOPED_TRACE(::testing::Message()
+               << "seed " << seed << " threads " << threads);
+  ASSERT_EQ(serial.verdict, par.verdict);
+  EXPECT_EQ(serial.instances_examined, par.instances_examined);
+  ASSERT_EQ(serial.counterexample.has_value(), par.counterexample.has_value());
+  if (serial.counterexample) {
+    EXPECT_EQ(serial.counterexample->d1, par.counterexample->d1);
+    EXPECT_EQ(serial.counterexample->d2, par.counterexample->d2);
+  }
+}
+
+class SearchDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+// 200 seeded triples, the battery the parallel determinacy search is
+// accepted on.
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchDifferential,
+                         ::testing::Range<std::uint64_t>(1, 201));
+
+TEST_P(SearchDifferential, ParallelSearchMatchesSerialAtAllThreadCounts) {
+  SearchTriple t = MakeTriple(GetParam());
+  DeterminacySearchResult serial =
+      SearchDeterminacyCounterexample(t.views, t.q, t.base, t.options);
+  for (int threads : {1, 2, 8}) {
+    EnumerationOptions options = t.options;
+    options.threads = threads;
+    DeterminacySearchResult par =
+        SearchDeterminacyCounterexample(t.views, t.q, t.base, options);
+    ExpectSameSearch(serial, par, threads, GetParam());
+  }
+}
+
+class MonotonicityDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityDifferential,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST_P(MonotonicityDifferential, ParallelScanMatchesSerial) {
+  SearchTriple t = MakeTriple(GetParam());
+  MonotonicitySearchResult serial =
+      SearchMonotonicityViolation(t.views, t.q, t.base, t.options);
+  for (int threads : {1, 2, 8}) {
+    EnumerationOptions options = t.options;
+    options.threads = threads;
+    MonotonicitySearchResult par =
+        SearchMonotonicityViolation(t.views, t.q, t.base, options);
+    SCOPED_TRACE(::testing::Message()
+                 << "seed " << GetParam() << " threads " << threads);
+    ASSERT_EQ(serial.verdict, par.verdict);
+    EXPECT_EQ(serial.instances_examined, par.instances_examined);
+    ASSERT_EQ(serial.violation.has_value(), par.violation.has_value());
+    if (serial.violation) {
+      EXPECT_EQ(serial.violation->d1, par.violation->d1);
+      EXPECT_EQ(serial.violation->d2, par.violation->d2);
+      EXPECT_EQ(serial.violation->view_image1, par.violation->view_image1);
+      EXPECT_EQ(serial.violation->view_image2, par.violation->view_image2);
+    }
+  }
+}
+
+class ContainmentDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentDifferential,
+                         ::testing::Range<std::uint64_t>(1, 81));
+
+// Random CQ pairs with injected disequalities (forcing the
+// identification-pattern sweep that actually fans out): the parallel sweep's
+// verdict must equal the serial one in both directions.
+TEST_P(ContainmentDifferential, ParallelSweepMatchesSerialVerdict) {
+  Rng rng(GetParam() + 1000);
+  RandomCqOptions copts;
+  copts.max_atoms = 3;
+  ConjunctiveQuery q1 = RandomCq(rng, copts);
+  ConjunctiveQuery q2 = RandomCq(rng, copts);
+  // Add a disequality between two drawn variables on each side (when the
+  // query has at least two); identical draws make x != x, also a valid case.
+  auto add_diseq = [&rng](ConjunctiveQuery& q) {
+    std::vector<std::string> vars = q.AllVariables();
+    if (vars.size() < 2) return;
+    const std::string& a = vars[rng.Below(vars.size())];
+    const std::string& b = vars[rng.Below(vars.size())];
+    q.AddDisequality(Term::Var(a), Term::Var(b));
+  };
+  add_diseq(q1);
+  if (GetParam() % 2 == 0) add_diseq(q2);
+
+  bool serial12 = CqContainedIn(q1, q2);
+  bool serial21 = CqContainedIn(q2, q1);
+  for (int threads : {1, 2, 8}) {
+    CqContainmentOptions options;
+    options.threads = threads;
+    EXPECT_EQ(CqContainedIn(q1, q2, options), serial12)
+        << "seed " << GetParam() << " threads " << threads;
+    EXPECT_EQ(CqContainedIn(q2, q1, options), serial21)
+        << "seed " << GetParam() << " threads " << threads;
+  }
+}
+
+void ExpectSameDeterminacy(const UnrestrictedDeterminacyResult& a,
+                           const UnrestrictedDeterminacyResult& b) {
+  EXPECT_EQ(a.determined, b.determined);
+  EXPECT_EQ(a.canonical_view_image, b.canonical_view_image);
+  EXPECT_EQ(a.frozen_head, b.frozen_head);
+  EXPECT_EQ(a.chase_inverse, b.chase_inverse);
+  ASSERT_EQ(a.canonical_rewriting.has_value(),
+            b.canonical_rewriting.has_value());
+  if (a.canonical_rewriting) {
+    EXPECT_EQ(a.canonical_rewriting->ToString(),
+              b.canonical_rewriting->ToString());
+  }
+}
+
+TEST(BatchDifferential, BatchMatchesItemwiseDecisionsInOrder) {
+  std::vector<DeterminacyBatchItem> items;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    Rng rng(seed);
+    RandomCqOptions copts;
+    DeterminacyBatchItem item;
+    item.views = RandomCqViews(rng, copts, 2);
+    item.query = RandomCq(rng, copts);
+    items.push_back(std::move(item));
+  }
+
+  std::vector<UnrestrictedDeterminacyResult> expected;
+  for (const DeterminacyBatchItem& item : items) {
+    expected.push_back(DecideUnrestrictedDeterminacy(item.views, item.query));
+  }
+
+  for (int threads : {1, 2, 8}) {
+    std::vector<UnrestrictedDeterminacyResult> got =
+        DecideUnrestrictedDeterminacyBatch(items, threads);
+    ASSERT_EQ(got.size(), expected.size()) << "threads " << threads;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      SCOPED_TRACE(::testing::Message()
+                   << "item " << i << " threads " << threads);
+      ExpectSameDeterminacy(expected[i], got[i]);
+    }
+  }
+}
+
+TEST(BatchDifferential, EmptyAndSingletonBatches) {
+  EXPECT_TRUE(DecideUnrestrictedDeterminacyBatch({}, 8).empty());
+
+  Rng rng(7);
+  RandomCqOptions copts;
+  DeterminacyBatchItem item;
+  item.views = RandomCqViews(rng, copts, 1);
+  item.query = RandomCq(rng, copts);
+  std::vector<UnrestrictedDeterminacyResult> got =
+      DecideUnrestrictedDeterminacyBatch({item}, 8);
+  ASSERT_EQ(got.size(), 1u);
+  ExpectSameDeterminacy(
+      DecideUnrestrictedDeterminacy(item.views, item.query), got[0]);
+}
+
+// A workload with a *known* counterexample: the projection view family.
+// Both engines must report the same first refuting pair on it.
+TEST(SearchDifferentialFixed, ProjectionViewFirstCounterexampleAgrees) {
+  Schema base{{"E", 2}};
+  ViewSet views;
+  {
+    ConjunctiveQuery v("V", {Term::Var("x")});
+    Atom a;
+    a.predicate = "E";
+    a.args = {Term::Var("x"), Term::Var("y")};
+    v.AddAtom(a);
+    views.Add("V", Query::FromCq(v));
+  }
+  ConjunctiveQuery q("Q", {Term::Var("x"), Term::Var("y")});
+  Atom a;
+  a.predicate = "E";
+  a.args = {Term::Var("x"), Term::Var("y")};
+  q.AddAtom(a);
+
+  EnumerationOptions options;
+  options.domain_size = 3;  // 512 instances
+  DeterminacySearchResult serial = SearchDeterminacyCounterexample(
+      views, Query::FromCq(q), base, options);
+  ASSERT_EQ(serial.verdict, SearchVerdict::kCounterexampleFound);
+  for (int threads : {2, 8}) {
+    EnumerationOptions par_options = options;
+    par_options.threads = threads;
+    DeterminacySearchResult par = SearchDeterminacyCounterexample(
+        views, Query::FromCq(q), base, par_options);
+    ExpectSameSearch(serial, par, threads, 0);
+  }
+}
+
+}  // namespace
+}  // namespace vqdr
