@@ -13,29 +13,87 @@ namespace vqdr {
 // (following the Google style guide); fallible public entry points (parsers,
 // budgeted searches) return Status or StatusOr<T>.
 
-/// A success-or-error value carrying a human-readable message on error.
+/// Machine-readable classification of an error, so callers can distinguish
+/// misuse (kInvalidArgument) from a budget stop (kResourceExhausted), an
+/// external cancellation (kCancelled) and an engine-internal failure
+/// (kInternal) without parsing the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kResourceExhausted,
+  kCancelled,
+  kInternal,
+  kUnknown,
+};
+
+/// The canonical short name of a code ("OK", "INVALID_ARGUMENT", ...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnknown:
+      return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+/// A success-or-error value carrying a code and a human-readable message on
+/// error.
 class Status {
  public:
   /// Constructs an OK status.
   Status() = default;
 
-  /// Constructs an error status with the given message.
-  static Status Error(std::string message) {
+  /// Constructs an error status with the given message and code
+  /// (kUnknown when the caller has nothing more precise to say).
+  static Status Error(std::string message,
+                      StatusCode code = StatusCode::kUnknown) {
     Status s;
     s.message_ = std::move(message);
-    s.ok_ = false;
+    s.code_ = code == StatusCode::kOk ? StatusCode::kUnknown : code;
     return s;
+  }
+
+  /// The caller passed something malformed (parse errors, bad options).
+  static Status InvalidArgument(std::string message) {
+    return Error(std::move(message), StatusCode::kInvalidArgument);
+  }
+
+  /// A budget (deadline, steps, memory) stopped the call before completion.
+  static Status ResourceExhausted(std::string message) {
+    return Error(std::move(message), StatusCode::kResourceExhausted);
+  }
+
+  /// The caller (or a progress callback) asked the call to stop.
+  static Status Cancelled(std::string message) {
+    return Error(std::move(message), StatusCode::kCancelled);
+  }
+
+  /// An invariant broke inside the library (captured task exception,
+  /// injected fault, allocation failure).
+  static Status Internal(std::string message) {
+    return Error(std::move(message), StatusCode::kInternal);
   }
 
   static Status Ok() { return Status(); }
 
-  bool ok() const { return ok_; }
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
 
   /// The error message; empty for OK statuses.
   const std::string& message() const { return message_; }
 
  private:
-  bool ok_ = true;
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
 

@@ -1,5 +1,7 @@
 #include "chase/chain.h"
 
+#include <utility>
+
 #include "base/check.h"
 #include "chase/view_inverse.h"
 #include "obs/metrics.h"
@@ -10,6 +12,16 @@ namespace vqdr {
 
 ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
                            int levels, ValueFactory& factory) {
+  ChaseChainOptions options;
+  options.levels = levels;
+  return BuildChaseChain(views, q, options, factory);
+}
+
+ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
+                           const ChaseChainOptions& options,
+                           ValueFactory& factory) {
+  const int levels = options.levels;
+  guard::Budget* budget = options.budget;
   VQDR_COUNTER_INC("chase.chain.builds");
   VQDR_TRACE_SPAN("chase.chain", levels);
   VQDR_CHECK(views.AllPureCq()) << "chase chain requires pure CQ views";
@@ -25,31 +37,70 @@ ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
   for (const RelationDecl& decl : chain.frozen_query.instance.schema().decls()) {
     d0.Set(decl.name, chain.frozen_query.instance.Get(decl.name));
   }
-  chain.d.push_back(d0);
-  chain.s.push_back(views.Apply(d0));
-  chain.s_prime.push_back(Instance(views.OutputSchema()));  // S'_0 = ∅
-  Instance empty(chase_schema);
-  chain.d_prime.push_back(ViewInverse(views, empty, chain.s[0], factory));
+  try {
+    chain.d.push_back(d0);
+    chain.s.push_back(views.Apply(d0));
+    chain.s_prime.push_back(Instance(views.OutputSchema()));  // S'_0 = ∅
+    Instance empty(chase_schema);
+    Instance dp0 = ViewInverse(views, empty, chain.s[0], factory, budget);
+    if (budget != nullptr && budget->Stopped()) {
+      // Level 0 could not be completed: drop everything so the invariant
+      // "every level present is exact" holds vacuously.
+      chain.d.clear();
+      chain.s.clear();
+      chain.s_prime.clear();
+      chain.outcome = budget->stop_reason();
+      return chain;
+    }
+    chain.d_prime.push_back(std::move(dp0));
+  } catch (...) {
+    if (budget != nullptr) budget->MarkInternalError();
+    chain.d.clear();
+    chain.s.clear();
+    chain.s_prime.clear();
+    chain.outcome = guard::Outcome::kInternalError;
+    return chain;
+  }
 
   for (int k = 0; k < levels; ++k) {
+    if (budget != nullptr && !budget->AllowsChaseLevel(k + 1)) {
+      chain.outcome = guard::Outcome::kStepBudgetExhausted;
+      break;
+    }
     VQDR_COUNTER_INC("chase.chain.levels");
     VQDR_TRACE_SPAN("chase.level", k + 1);
-    // S'_{k+1} = V(D'_k)
-    chain.s_prime.push_back(views.Apply(chain.d_prime[k]));
-    // D_{k+1} = V_{D_k}^{-1}(S'_{k+1})
-    chain.d.push_back(
-        ViewInverse(views, chain.d[k], chain.s_prime[k + 1], factory));
-    // S_{k+1} = V(D_{k+1})
-    chain.s.push_back(views.Apply(chain.d[k + 1]));
-    // D'_{k+1} = V_{D'_k}^{-1}(S_{k+1})
-    chain.d_prime.push_back(
-        ViewInverse(views, chain.d_prime[k], chain.s[k + 1], factory));
+    // Build the whole level into locals and append only when the budget
+    // survived it — a tripped budget leaves a partial inverse, which must
+    // never become a chain level.
+    try {
+      // S'_{k+1} = V(D'_k)
+      Instance sp = views.Apply(chain.d_prime[k]);
+      // D_{k+1} = V_{D_k}^{-1}(S'_{k+1})
+      Instance d = ViewInverse(views, chain.d[k], sp, factory, budget);
+      // S_{k+1} = V(D_{k+1})
+      Instance s = views.Apply(d);
+      // D'_{k+1} = V_{D'_k}^{-1}(S_{k+1})
+      Instance dp = ViewInverse(views, chain.d_prime[k], s, factory, budget);
+      if (budget != nullptr && budget->Stopped()) {
+        chain.outcome = budget->stop_reason();
+        break;
+      }
+      chain.s_prime.push_back(std::move(sp));
+      chain.d.push_back(std::move(d));
+      chain.s.push_back(std::move(s));
+      chain.d_prime.push_back(std::move(dp));
+    } catch (...) {
+      if (budget != nullptr) budget->MarkInternalError();
+      chain.outcome = guard::Outcome::kInternalError;
+      break;
+    }
     VQDR_HISTOGRAM_RECORD("chase.chain.level_size",
                           chain.d[k + 1].TupleCount());
     // Chain levels grow doubly fast; report each one so a deep build stays
     // visibly alive. A false return asks us to stop at the level boundary.
     if (!obs::ReportProgress("chase.level", static_cast<std::uint64_t>(k + 1),
                              static_cast<std::uint64_t>(levels))) {
+      chain.outcome = guard::Outcome::kCancelled;
       break;
     }
   }

@@ -5,6 +5,7 @@
 
 #include "cq/canonical.h"
 #include "cq/conjunctive_query.h"
+#include "guard/budget.h"
 #include "views/view_set.h"
 
 namespace vqdr {
@@ -32,6 +33,25 @@ struct ChaseChain {
   std::vector<Instance> s;        // S_k
   std::vector<Instance> s_prime;  // S'_k
   std::vector<Instance> d_prime;  // D'_k
+
+  /// Why the build ended. kComplete when all requested levels were built;
+  /// otherwise the budget's stop reason (or kCancelled for a progress-
+  /// callback stop, kInternalError for a captured allocation failure).
+  /// Levels are only appended whole: whatever the outcome, every level
+  /// present is exact.
+  guard::Outcome outcome = guard::Outcome::kComplete;
+};
+
+/// Knobs for BuildChaseChain.
+struct ChaseChainOptions {
+  /// Builds levels 0..levels (levels+1 in total).
+  int levels = 0;
+
+  /// Optional resource budget: checkpointed per chased view tuple and
+  /// charged per materialized atom; spec().max_chase_levels additionally
+  /// caps the chain depth. A trip truncates the chain at a level boundary —
+  /// the partially-built level is discarded. nullptr = ungoverned.
+  guard::Budget* budget = nullptr;
 };
 
 /// Builds `levels`+1 levels of the chain for pure CQ views and query.
@@ -40,6 +60,11 @@ struct ChaseChain {
 /// (every level present is still exact).
 ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
                            int levels, ValueFactory& factory);
+
+/// Governed variant: same chain, bounded by options.budget.
+ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
+                           const ChaseChainOptions& options,
+                           ValueFactory& factory);
 
 }  // namespace vqdr
 

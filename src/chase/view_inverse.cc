@@ -3,6 +3,7 @@
 #include <map>
 
 #include "base/check.h"
+#include "guard/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -17,7 +18,8 @@ Schema ChaseSchema(const ViewSet& views, const Schema& base) {
 }
 
 Instance ViewInverse(const ViewSet& views, const Instance& base,
-                     const Instance& s_prime, ValueFactory& factory) {
+                     const Instance& s_prime, ValueFactory& factory,
+                     guard::Budget* budget) {
   VQDR_COUNTER_INC("chase.view_inverse.calls");
   VQDR_TRACE_SPAN("chase.view_inverse");
   VQDR_CHECK(views.AllPureCq()) << "ViewInverse requires pure CQ views";
@@ -40,6 +42,8 @@ Instance ViewInverse(const ViewSet& views, const Instance& base,
     const Relation& old_tuples = s.Get(view.name);
     for (const Tuple& y : new_tuples.tuples()) {
       if (old_tuples.Contains(y)) continue;  // already witnessed by base
+      if (!guard::IsComplete(guard::Check(budget))) return result;
+      VQDR_FAULT_ALLOC("chase.view_inverse");
       VQDR_COUNTER_INC("chase.view_inverse.tuples_chased");
 
       // α_ȳ: unify the head terms with ȳ.
@@ -77,6 +81,9 @@ Instance ViewInverse(const ViewSet& views, const Instance& base,
         fact.reserve(atom.args.size());
         for (const Term& t : atom.args) fact.push_back(resolve(t));
         result.AddFact(atom.predicate, fact);
+      }
+      if (!guard::IsComplete(guard::CheckAtoms(budget, q.atoms().size()))) {
+        return result;
       }
       VQDR_COUNTER_ADD("chase.view_inverse.facts_added", q.atoms().size());
     }

@@ -2,6 +2,7 @@
 #define VQDR_CHASE_VIEW_INVERSE_H_
 
 #include "data/instance.h"
+#include "guard/budget.h"
 #include "views/view_set.h"
 
 namespace vqdr {
@@ -24,8 +25,15 @@ namespace vqdr {
 /// head pattern (repeated head variables disagreeing, or a head constant
 /// mismatch), the function aborts — such tuples cannot arise from actual
 /// view images.
+///
+/// `budget`, when non-null, is checkpointed once per chased tuple and
+/// charged the materialized atoms; a trip stops the chase mid-inverse and
+/// returns the partial extension. Callers that need exact levels (the chase
+/// chain) must check budget->Stopped() afterwards and discard the partial
+/// result.
 Instance ViewInverse(const ViewSet& views, const Instance& base,
-                     const Instance& s_prime, ValueFactory& factory);
+                     const Instance& s_prime, ValueFactory& factory,
+                     guard::Budget* budget = nullptr);
 
 /// Schema for chase results: the base schema joined with every view's body
 /// schema.

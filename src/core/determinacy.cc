@@ -10,7 +10,7 @@
 namespace vqdr {
 
 UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacy(
-    const ViewSet& views, const ConjunctiveQuery& q) {
+    const ViewSet& views, const ConjunctiveQuery& q, guard::Budget* budget) {
   VQDR_COUNTER_INC("determinacy.decisions");
   VQDR_TRACE_SPAN("determinacy.unrestricted");
   VQDR_CHECK(views.AllPureCq())
@@ -39,12 +39,31 @@ UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacy(
   result.frozen_head = frozen.frozen_head;
   result.canonical_view_image = views.Apply(d0);
   Instance empty(chase_schema);
-  result.chase_inverse =
-      ViewInverse(views, empty, result.canonical_view_image, factory);
+  try {
+    result.chase_inverse =
+        ViewInverse(views, empty, result.canonical_view_image, factory, budget);
+    if (budget != nullptr && budget->Stopped()) {
+      // Partial chase-back: x̄ ∈ Q(D') over an incomplete D' could flip
+      // either way, so no verdict — report what was computed and stop.
+      result.outcome = budget->stop_reason();
+      return result;
+    }
 
-  // Decision: x̄ ∈ Q(V_∅^{-1}(V([Q]))).
-  result.determined =
-      CqAnswerContains(q, result.chase_inverse, frozen.frozen_head);
+    // Decision: x̄ ∈ Q(V_∅^{-1}(V([Q]))). The matcher polls the budget per
+    // backtracking node, so a hostile chase-back cannot outlive a deadline.
+    result.determined =
+        CqAnswerContains(q, result.chase_inverse, frozen.frozen_head, budget);
+    if (budget != nullptr && budget->Stopped()) {
+      result.outcome = budget->stop_reason();
+      result.determined = false;
+      return result;
+    }
+  } catch (...) {
+    if (budget != nullptr) budget->MarkInternalError();
+    result.outcome = guard::Outcome::kInternalError;
+    result.determined = false;
+    return result;
+  }
 
   if (result.determined) {
     VQDR_COUNTER_INC("determinacy.determined");

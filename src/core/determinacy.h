@@ -5,6 +5,7 @@
 
 #include "cq/conjunctive_query.h"
 #include "data/instance.h"
+#include "guard/budget.h"
 #include "views/view_set.h"
 
 namespace vqdr {
@@ -33,13 +34,23 @@ struct UnrestrictedDeterminacyResult {
   /// The canonical rewriting Q_V over σ_V with [Q_V] = S. Present iff
   /// determined; by Proposition 3.5 it satisfies Q = Q_V ∘ V.
   std::optional<ConjunctiveQuery> canonical_rewriting;
+
+  /// Why the decision ended. `determined` is meaningful only when this is
+  /// kComplete — a budget-stopped decision reports the partial chase (the
+  /// fields computed so far) and never fabricates a verdict.
+  guard::Outcome outcome = guard::Outcome::kComplete;
 };
 
 /// Decides V ↠ Q in the unrestricted case (Theorem 3.7): computes
 /// S = V([Q]), chases back D' = V_∅^{-1}(S), and tests x̄ ∈ Q(D').
 /// Requires pure CQ views and query.
+///
+/// `budget`, when non-null, bounds the chase-back and the decision match;
+/// on a trip the result carries outcome != kComplete and whatever was
+/// already computed (canonical image, partial inverse).
 UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacy(
-    const ViewSet& views, const ConjunctiveQuery& q);
+    const ViewSet& views, const ConjunctiveQuery& q,
+    guard::Budget* budget = nullptr);
 
 }  // namespace vqdr
 

@@ -1,10 +1,12 @@
 #ifndef VQDR_CORE_DETERMINACY_BATCH_H_
 #define VQDR_CORE_DETERMINACY_BATCH_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "core/determinacy.h"
 #include "cq/conjunctive_query.h"
+#include "guard/budget.h"
 #include "views/view_set.h"
 
 namespace vqdr {
@@ -27,6 +29,29 @@ struct DeterminacyBatchItem {
 /// cannot cancel it mid-flight).
 std::vector<UnrestrictedDeterminacyResult> DecideUnrestrictedDeterminacyBatch(
     const std::vector<DeterminacyBatchItem>& items, int threads = 0);
+
+/// Result of a governed batch run.
+struct DeterminacyBatchResult {
+  /// One entry per item, index-aligned. Items the budget skipped (or that
+  /// stopped mid-decision) carry their own outcome != kComplete and no
+  /// trustworthy `determined` flag.
+  std::vector<UnrestrictedDeterminacyResult> results;
+
+  /// The strongest stop reason across the batch; kComplete iff every item
+  /// was fully decided.
+  guard::Outcome outcome = guard::Outcome::kComplete;
+
+  /// Items whose decisions ran to completion.
+  std::size_t items_completed = 0;
+};
+
+/// Governed batch: one shared budget envelope across all items. Once the
+/// budget trips, remaining items are skipped (their result records the stop
+/// reason) and the completed prefix of decisions is returned — identical to
+/// what an ungoverned run would have produced for those items.
+DeterminacyBatchResult DecideUnrestrictedDeterminacyBatchGoverned(
+    const std::vector<DeterminacyBatchItem>& items, int threads = 0,
+    guard::Budget* budget = nullptr);
 
 }  // namespace vqdr
 

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "guard/fault.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -21,6 +22,13 @@ namespace {
 // Progress cadence for instance enumeration: frequent enough to look alive,
 // sparse enough that a callback-free run pays only the ticker branch.
 constexpr std::uint64_t kProgressStride = 1024;
+
+#ifndef VQDR_PAR_DISABLED
+// Budget-checkpoint cadence inside parallel workers: tighter than the
+// progress stride so deadlines and cancellation land promptly even when the
+// per-instance work is expensive.
+constexpr std::uint64_t kGovernStride = 128;
+#endif
 
 std::vector<Value> UniverseFor(const EnumerationOptions& options) {
   std::vector<Value> universe;
@@ -61,36 +69,49 @@ DeterminacySearchResult SearchDeterminacyCounterexampleSerial(
   std::map<std::string, GroupInfo> groups;
 
   bool cancelled = false;
-  EnumerationOutcome outcome =
-      ForEachInstance(base, options, [&](const Instance& d) {
-        instances.Increment();
-        ++examined;
-        if (!ticker.Tick()) {
-          cancelled = true;
-          return false;
-        }
-        Instance image = views.Apply(d);
-        std::string key = image.ToKey();
-        Relation answer = q.Eval(d);
-        auto it = groups.find(key);
-        if (it == groups.end()) {
-          VQDR_COUNTER_INC("search.groups");
-          groups.emplace(key, GroupInfo{d, answer});
-          return true;
-        }
-        if (it->second.answer != answer) {
-          VQDR_COUNTER_INC("search.counterexamples");
-          result.verdict = SearchVerdict::kCounterexampleFound;
-          result.counterexample =
-              DeterminacyCounterexample{it->second.first, d};
-          return false;
-        }
+  EnumerationOutcome outcome;
+  try {
+    outcome = ForEachInstance(base, options, [&](const Instance& d) {
+      instances.Increment();
+      ++examined;
+      if (!ticker.Tick()) {
+        cancelled = true;
+        return false;
+      }
+      VQDR_FAULT_ALLOC("search.instances");
+      Instance image = views.Apply(d);
+      std::string key = image.ToKey();
+      Relation answer = q.Eval(d);
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        VQDR_COUNTER_INC("search.groups");
+        groups.emplace(key, GroupInfo{d, answer});
         return true;
-      });
+      }
+      if (it->second.answer != answer) {
+        VQDR_COUNTER_INC("search.counterexamples");
+        result.verdict = SearchVerdict::kCounterexampleFound;
+        result.counterexample =
+            DeterminacyCounterexample{it->second.first, d};
+        return false;
+      }
+      return true;
+    });
+  } catch (...) {
+    // Allocation failure (real or injected) mid-sweep: report the honest
+    // prefix instead of propagating. The throwing instance did not finish,
+    // so it is not part of the examined prefix.
+    if (options.budget != nullptr) options.budget->MarkInternalError();
+    result.verdict = SearchVerdict::kBudgetExhausted;
+    result.outcome = guard::Outcome::kInternalError;
+    result.instances_examined = examined > 0 ? examined - 1 : 0;
+    return result;
+  }
   result.instances_examined = examined;
   if (result.verdict != SearchVerdict::kCounterexampleFound &&
       (!outcome.complete || cancelled)) {
     result.verdict = SearchVerdict::kBudgetExhausted;
+    result.outcome = cancelled ? guard::Outcome::kCancelled : outcome.outcome;
   }
   return result;
 }
@@ -132,9 +153,10 @@ DeterminacySearchResult SearchDeterminacyCounterexampleParallel(
   std::vector<SearchChunk> chunks(plan.num_chunks);
   par::FirstHit hint;
   par::OpContext op("search.instances", options.max_instances,
-                    kProgressStride);
+                    kProgressStride, options.budget);
   obs::Counter& instances = obs::GetCounter("search.instances");
 
+  std::uint64_t pool_errors = 0;
   {
     par::ThreadPool pool(threads);
     par::ParallelForChunks(pool, plan.num_chunks, [&](std::uint64_t c) {
@@ -148,6 +170,7 @@ DeterminacySearchResult SearchDeterminacyCounterexampleParallel(
       bool completed = true;
       space.ForRange(
           begin, plan.End(c), [&](std::uint64_t idx, const Instance& d) {
+            VQDR_FAULT_ALLOC("search.instances");
             ++chunk.examined;
             Instance image = views.Apply(d);
             std::string key = image.ToKey();
@@ -166,7 +189,7 @@ DeterminacySearchResult SearchDeterminacyCounterexampleParallel(
               it->second.diff = d;
               hint.TryImprove(idx);
             }
-            if (++since_report >= kProgressStride) {
+            if (++since_report >= kGovernStride) {
               if (!op.AddProgress(since_report)) {
                 completed = false;
                 return false;
@@ -184,6 +207,13 @@ DeterminacySearchResult SearchDeterminacyCounterexampleParallel(
       instances.Add(chunk.examined);
       chunk.processed = completed;
     });
+    // A task that threw (injected allocation failure, say) left its chunk
+    // unprocessed; the pool captured the exception and kept draining.
+    pool_errors = pool.error_count();
+    if (pool_errors > 0) pool.TakeFirstError();
+  }
+  if (pool_errors > 0 && options.budget != nullptr) {
+    options.budget->MarkInternalError();
   }
 
   // Deterministic merge, in chunk order. The merge stops at the first
@@ -234,9 +264,17 @@ DeterminacySearchResult SearchDeterminacyCounterexampleParallel(
     result.counterexample = DeterminacyCounterexample{*best_d1, *best_d2};
     // The serial sweep stops on the conflicting instance: index + 1 bodies.
     result.instances_examined = best_index + 1;
-  } else if (!prefix_complete || truncated || op.cancelled()) {
+  } else if (!prefix_complete || truncated || op.cancelled() ||
+             pool_errors > 0) {
     result.verdict = SearchVerdict::kBudgetExhausted;
     result.instances_examined = prefix;
+    result.outcome = op.outcome();
+    if (pool_errors > 0) result.outcome = guard::Outcome::kInternalError;
+    if (guard::IsComplete(result.outcome)) {
+      // Space truncation without a budget trip: same class of stop as a
+      // step budget.
+      result.outcome = guard::Outcome::kStepBudgetExhausted;
+    }
   } else {
     result.verdict = SearchVerdict::kNoneWithinBound;
     result.instances_examined = n;
@@ -264,21 +302,38 @@ MonotonicitySearchResult SearchMonotonicityViolationSerial(
   std::vector<Entry> entries;
 
   bool cancelled = false;
-  EnumerationOutcome outcome =
-      ForEachInstance(base, options, [&](const Instance& d) {
-        instances.Increment();
-        ++examined;
-        if (!ticker.Tick()) {
-          cancelled = true;
-          return false;
-        }
-        entries.push_back(Entry{d, views.Apply(d), q.Eval(d)});
-        return true;
-      });
+  EnumerationOutcome outcome;
+  try {
+    outcome = ForEachInstance(base, options, [&](const Instance& d) {
+      instances.Increment();
+      ++examined;
+      if (!ticker.Tick()) {
+        cancelled = true;
+        return false;
+      }
+      VQDR_FAULT_ALLOC("search.instances");
+      entries.push_back(Entry{d, views.Apply(d), q.Eval(d)});
+      return true;
+    });
+  } catch (...) {
+    if (options.budget != nullptr) options.budget->MarkInternalError();
+    result.verdict = SearchVerdict::kBudgetExhausted;
+    result.outcome = guard::Outcome::kInternalError;
+    result.instances_examined = examined > 0 ? examined - 1 : 0;
+    return result;
+  }
   result.instances_examined = examined;
 
   obs::Counter& pairs = obs::GetCounter("search.mono.pairs");
   for (const Entry& a : entries) {
+    // One budget step per row: a row is O(entries) subset tests, so the
+    // quadratic phase stays governable without per-pair overhead.
+    guard::Outcome check = guard::Check(options.budget);
+    if (!guard::IsComplete(check)) {
+      result.verdict = SearchVerdict::kBudgetExhausted;
+      result.outcome = check;
+      return result;
+    }
     for (const Entry& b : entries) {
       if (&a == &b) continue;
       if (!a.image.IsSubInstanceOf(b.image)) continue;
@@ -294,6 +349,7 @@ MonotonicitySearchResult SearchMonotonicityViolationSerial(
   }
   if (!outcome.complete || cancelled) {
     result.verdict = SearchVerdict::kBudgetExhausted;
+    result.outcome = cancelled ? guard::Outcome::kCancelled : outcome.outcome;
   }
   return result;
 }
@@ -327,7 +383,7 @@ MonotonicitySearchResult SearchMonotonicityViolationParallel(
   };
   std::vector<EntryChunk> entry_chunks(plan.num_chunks);
   par::OpContext op("search.mono.instances", options.max_instances,
-                    kProgressStride);
+                    kProgressStride, options.budget);
   obs::Counter& instances = obs::GetCounter("search.mono.instances");
 
   par::ParallelForChunks(pool, plan.num_chunks, [&](std::uint64_t c) {
@@ -338,10 +394,11 @@ MonotonicitySearchResult SearchMonotonicityViolationParallel(
     bool completed = true;
     space.ForRange(plan.Begin(c), plan.End(c),
                    [&](std::uint64_t, const Instance& d) {
+                     VQDR_FAULT_ALLOC("search.instances");
                      ++chunk.examined;
                      chunk.entries.push_back(
                          Entry{d, views.Apply(d), q.Eval(d)});
-                     if (++since_report >= kProgressStride) {
+                     if (++since_report >= kGovernStride) {
                        if (!op.AddProgress(since_report)) {
                          completed = false;
                          return false;
@@ -354,6 +411,11 @@ MonotonicitySearchResult SearchMonotonicityViolationParallel(
     instances.Add(chunk.examined);
     chunk.processed = completed;
   });
+  std::uint64_t pool_errors = pool.error_count();
+  if (pool_errors > 0) {
+    pool.TakeFirstError();
+    if (options.budget != nullptr) options.budget->MarkInternalError();
+  }
 
   std::vector<Entry> entries;
   entries.reserve(n);
@@ -390,8 +452,14 @@ MonotonicitySearchResult SearchMonotonicityViolationParallel(
     if (row_hint.best() < row_begin) return;
     RowHit& hit = row_hits[c];
     std::uint64_t local_pairs = 0;
+    bool completed = true;
     for (std::uint64_t a = row_begin; a < row_plan.End(c) && !hit.found;
          ++a) {
+      // One budget step per row, matching the serial scan's granularity.
+      if (!guard::IsComplete(guard::Check(options.budget))) {
+        completed = false;
+        break;
+      }
       for (std::uint64_t b = 0; b < rows; ++b) {
         if (a == b) continue;
         if (!entries[a].image.IsSubInstanceOf(entries[b].image)) continue;
@@ -406,8 +474,14 @@ MonotonicitySearchResult SearchMonotonicityViolationParallel(
       }
     }
     pairs.Add(local_pairs);
-    hit.processed = true;
+    hit.processed = completed;
   });
+  std::uint64_t scan_errors = pool.error_count();
+  if (scan_errors > 0) {
+    pool.TakeFirstError();
+    pool_errors += scan_errors;
+    if (options.budget != nullptr) options.budget->MarkInternalError();
+  }
 
   bool found = false;
   std::uint64_t best_a = 0;
@@ -422,6 +496,14 @@ MonotonicitySearchResult SearchMonotonicityViolationParallel(
     }
   }
 
+  bool row_scan_complete = true;
+  for (const RowHit& hit : row_hits) {
+    if (!hit.processed) {
+      row_scan_complete = false;
+      break;
+    }
+  }
+
   if (found) {
     VQDR_COUNTER_INC("search.mono.violations");
     result.verdict = SearchVerdict::kCounterexampleFound;
@@ -430,8 +512,17 @@ MonotonicitySearchResult SearchMonotonicityViolationParallel(
         entries[best_b].image};
     return result;
   }
-  if (!enumeration_complete || truncated || op.cancelled()) {
+  if (!enumeration_complete || !row_scan_complete || truncated ||
+      op.cancelled() || pool_errors > 0) {
     result.verdict = SearchVerdict::kBudgetExhausted;
+    result.outcome = op.outcome();
+    if (pool_errors > 0) result.outcome = guard::Outcome::kInternalError;
+    if (guard::IsComplete(result.outcome)) {
+      result.outcome = guard::StopReason(options.budget);
+    }
+    if (guard::IsComplete(result.outcome)) {
+      result.outcome = guard::Outcome::kStepBudgetExhausted;
+    }
   }
   return result;
 }

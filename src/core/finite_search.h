@@ -5,6 +5,7 @@
 
 #include "data/instance.h"
 #include "gen/enumerate.h"
+#include "guard/budget.h"
 #include "views/view_set.h"
 
 namespace vqdr {
@@ -48,6 +49,13 @@ struct DeterminacySearchResult {
   /// workers, which can exceed this value when workers race past the
   /// earliest conflict before the pruning hint lands.
   std::uint64_t instances_examined = 0;
+
+  /// Why the search ended. kComplete for a covered space or a found
+  /// counterexample; a budget stop reason (deadline/steps/memory/cancel) or
+  /// kInternalError otherwise. Never kComplete when verdict is
+  /// kBudgetExhausted, and the examined prefix is always honest: everything
+  /// counted was actually searched.
+  guard::Outcome outcome = guard::Outcome::kComplete;
 };
 
 /// Enumerates every instance over `base` within `options`, groups by view
@@ -78,6 +86,9 @@ struct MonotonicitySearchResult {
   SearchVerdict verdict = SearchVerdict::kNoneWithinBound;
   std::optional<MonotonicityViolation> violation;
   std::uint64_t instances_examined = 0;
+
+  /// Why the search ended; see DeterminacySearchResult::outcome.
+  guard::Outcome outcome = guard::Outcome::kComplete;
 };
 
 /// Searches for a pair witnessing non-monotonicity of the induced mapping

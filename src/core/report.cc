@@ -34,6 +34,9 @@ std::string DeterminacyReport::Summary() const {
              "Theorem 5.11.";
       break;
   }
+  if (!guard::IsComplete(outcome)) {
+    out << " [stopped: " << guard::OutcomeName(outcome) << "]";
+  }
   if (!metrics.empty()) out << "\n[metrics] " << metrics.ToString();
   return out.str();
 }
@@ -43,8 +46,22 @@ namespace {
 DeterminacyReport AnalyzeDeterminacyImpl(
     const ViewSet& views, const ConjunctiveQuery& q, const Schema& base,
     const DeterminacyAnalysisOptions& opts) {
+  guard::Budget* budget =
+      opts.budget != nullptr ? opts.budget : opts.search.budget;
+  EnumerationOptions search_opts = opts.search;
+  search_opts.budget = budget;
+
   DeterminacyReport report;
-  report.unrestricted = DecideUnrestrictedDeterminacy(views, q);
+  report.unrestricted = DecideUnrestrictedDeterminacy(views, q, budget);
+  if (!guard::IsComplete(report.unrestricted.outcome)) {
+    // The exact decision could not finish inside the budget: no fabricated
+    // verdict. Everything the chase computed so far rides along in
+    // report.unrestricted.
+    report.verdict = DeterminacyVerdict::kOpenWithinBound;
+    report.searches_exhaustive = false;
+    report.outcome = report.unrestricted.outcome;
+    return report;
+  }
 
   if (report.unrestricted.determined) {
     report.verdict = DeterminacyVerdict::kDeterminedWithRewriting;
@@ -52,19 +69,20 @@ DeterminacyReport AnalyzeDeterminacyImpl(
     if (rewriting.exists) report.rewriting = rewriting.rewriting;
     if (opts.probe_monotonicity) {
       MonotonicitySearchResult probe = SearchMonotonicityViolation(
-          views, Query::FromCq(q), base, opts.search);
+          views, Query::FromCq(q), base, search_opts);
       if (probe.verdict == SearchVerdict::kCounterexampleFound) {
         report.monotonicity_violation = probe.violation;
       }
       if (probe.verdict == SearchVerdict::kBudgetExhausted) {
         report.searches_exhaustive = false;
+        report.outcome = guard::MergeOutcome(report.outcome, probe.outcome);
       }
     }
     return report;
   }
 
   DeterminacySearchResult search = SearchDeterminacyCounterexample(
-      views, Query::FromCq(q), base, opts.search);
+      views, Query::FromCq(q), base, search_opts);
   if (search.verdict == SearchVerdict::kCounterexampleFound) {
     report.verdict = DeterminacyVerdict::kRefuted;
     report.counterexample = search.counterexample;
@@ -73,6 +91,7 @@ DeterminacyReport AnalyzeDeterminacyImpl(
   report.verdict = DeterminacyVerdict::kOpenWithinBound;
   report.searches_exhaustive =
       search.verdict == SearchVerdict::kNoneWithinBound;
+  report.outcome = guard::MergeOutcome(report.outcome, search.outcome);
   return report;
 }
 

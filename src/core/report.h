@@ -34,6 +34,11 @@ struct DeterminacyAnalysisOptions {
   /// Also probe Q_V monotonicity when determinacy holds on the searched
   /// fragment (Theorem 5.11(3) evidence).
   bool probe_monotonicity = true;
+  /// Optional resource budget: one envelope over the whole battery (chase
+  /// decision, searches, probes). Takes effect everywhere search.budget
+  /// would and in the chase decision too; when both are set, this one wins.
+  /// nullptr = ungoverned.
+  guard::Budget* budget = nullptr;
 };
 
 /// Everything the library can say about one (V, Q) pair, assembled.
@@ -55,6 +60,13 @@ struct DeterminacyReport {
 
   /// Whether the bounded searches covered their spaces.
   bool searches_exhaustive = true;
+
+  /// Why the battery ended: kComplete for a full run, otherwise the first
+  /// budget stop reason encountered. A non-complete outcome never comes
+  /// with a fabricated verdict — a budget-stopped unrestricted decision
+  /// reports kOpenWithinBound with searches_exhaustive == false, and a
+  /// stopped search leaves whatever sound verdict was already established.
+  guard::Outcome outcome = guard::Outcome::kComplete;
 
   /// Observability counters/histograms attributed to this analysis (the
   /// metrics delta across the battery): chase.*, cq.hom.*, search.*, ...

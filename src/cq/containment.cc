@@ -8,6 +8,7 @@
 #include "base/check.h"
 #include "cq/canonical.h"
 #include "cq/matcher.h"
+#include "guard/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -129,6 +130,7 @@ bool ForEachIdentificationPattern(
 bool CheckPattern(const ConjunctiveQuery& collapsed,
                   const ValueFactory& base_factory,
                   const std::function<bool(const PatternInstance&)>& check) {
+  VQDR_FAULT_ALLOC("cq.pattern");
   VQDR_COUNTER_INC("cq.containment.canonical_dbs");
   for (const TermComparison& c : collapsed.disequalities()) {
     if (c.lhs == c.rhs) return true;
@@ -143,25 +145,54 @@ bool CheckPattern(const ConjunctiveQuery& collapsed,
   return check(pattern);
 }
 
+// Aggregate state of one canonical-database sweep.
+struct SweepOutcome {
+  /// Conjunction over the patterns that were checked. Definitive-false once
+  /// any pattern failed (a witness of non-containment); "true so far"
+  /// otherwise.
+  bool all_passed = true;
+  /// A pattern check threw (real or injected allocation failure); the
+  /// exception was captured and the sweep stopped.
+  bool internal_error = false;
+  /// Pattern checks that ran to completion (including a failing one).
+  std::uint64_t patterns = 0;
+};
+
 // Tests `body` on every canonical database of `q1` sufficient for deciding
 // q1 ⊆ q2: for pure q1/q2 the single all-distinct freezing is complete
 // (Chandra–Merlin); with disequalities on either side, completeness needs
 // every identification pattern (van der Meyden's classical test for CQ≠
-// containment). Returns true iff every canonical database passed.
+// containment).
 //
 // threads > 1 fans the identification-pattern sweep across a work-stealing
 // pool in bounded batches with early exit on the first failing pattern (the
 // witness of non-containment); `body` then runs concurrently and must be
 // thread-safe. The verdict is the same conjunction either way.
-bool ForEachCanonicalDb(
+//
+// `budget`, when non-null, is charged one step per pattern; a trip stops
+// the sweep (check budget->Stopped() to distinguish from completion).
+// Exceptions from pattern checks are captured into internal_error — in the
+// parallel sweep by the pool, serially right here — and never propagate.
+SweepOutcome SweepCanonicalDbs(
     const ConjunctiveQuery& q1, const std::set<Value>& all_constants,
-    bool need_patterns, int threads,
+    bool need_patterns, int threads, guard::Budget* budget,
     const std::function<bool(const PatternInstance&)>& body) {
   ValueFactory base_factory;
   for (Value c : all_constants) base_factory.NoteUsed(c);
+  SweepOutcome out;
 
   // The all-distinct freezing is one pattern; nothing to fan out.
-  if (!need_patterns) return CheckPattern(q1, base_factory, body);
+  if (!need_patterns) {
+    if (!guard::IsComplete(guard::Check(budget))) return out;
+    try {
+      out.all_passed = CheckPattern(q1, base_factory, body);
+      ++out.patterns;
+    } catch (...) {
+      if (budget != nullptr) budget->MarkInternalError();
+      out.internal_error = true;
+    }
+    return out;
+  }
 
 #ifndef VQDR_PAR_DISABLED
   if (threads > 1) {
@@ -170,37 +201,79 @@ bool ForEachCanonicalDb(
     std::vector<ConjunctiveQuery> batch;
     batch.reserve(batch_size);
     std::atomic<bool> witness_found{false};
+    std::atomic<std::uint64_t> patterns{0};
     par::ThreadPool pool(threads);
     auto flush = [&]() -> bool {
       for (ConjunctiveQuery& collapsed : batch) {
-        pool.Submit([&witness_found, &base_factory, &body, &collapsed] {
-          if (witness_found.load(std::memory_order_relaxed)) return;
-          if (!CheckPattern(collapsed, base_factory, body)) {
-            witness_found.store(true, std::memory_order_relaxed);
-          }
-        });
+        pool.Submit(
+            [&witness_found, &patterns, &base_factory, &body, &collapsed,
+             budget] {
+              if (witness_found.load(std::memory_order_relaxed)) return;
+              if (!guard::IsComplete(guard::Check(budget))) return;
+              bool pass = CheckPattern(collapsed, base_factory, body);
+              patterns.fetch_add(1, std::memory_order_relaxed);
+              if (pass) return;
+              if (budget != nullptr && budget->Stopped()) return;
+              witness_found.store(true, std::memory_order_relaxed);
+            });
       }
       pool.Wait();
       batch.clear();
-      return !witness_found.load(std::memory_order_relaxed);
+      if (pool.error_count() > 0) {
+        // A pattern check threw inside a worker; the pool captured it and
+        // drained the rest of the batch.
+        pool.TakeFirstError();
+        if (budget != nullptr) budget->MarkInternalError();
+        out.internal_error = true;
+      }
+      return !witness_found.load(std::memory_order_relaxed) &&
+             !out.internal_error &&
+             !(budget != nullptr && budget->Stopped());
     };
-    bool kept_going = ForEachIdentificationPattern(
+    ForEachIdentificationPattern(
         q1, all_constants, [&](const ConjunctiveQuery& collapsed) {
           batch.push_back(collapsed);
           if (batch.size() >= batch_size) return flush();
           return true;
         });
-    if (!kept_going) return false;
-    return flush();
+    if (!out.internal_error) flush();
+    out.patterns = patterns.load(std::memory_order_relaxed);
+    out.all_passed = !witness_found.load(std::memory_order_relaxed);
+    return out;
   }
 #else
   (void)threads;
 #endif
 
-  return ForEachIdentificationPattern(
-      q1, all_constants, [&](const ConjunctiveQuery& collapsed) {
-        return CheckPattern(collapsed, base_factory, body);
-      });
+  try {
+    ForEachIdentificationPattern(
+        q1, all_constants, [&](const ConjunctiveQuery& collapsed) {
+          if (!guard::IsComplete(guard::Check(budget))) return false;
+          bool pass = CheckPattern(collapsed, base_factory, body);
+          ++out.patterns;
+          if (!pass && !(budget != nullptr && budget->Stopped())) {
+            out.all_passed = false;
+          }
+          return out.all_passed &&
+                 !(budget != nullptr && budget->Stopped());
+        });
+  } catch (...) {
+    if (budget != nullptr) budget->MarkInternalError();
+    out.internal_error = true;
+  }
+  return out;
+}
+
+// Legacy ungoverned sweep: requires completion, returns the conjunction.
+bool ForEachCanonicalDb(
+    const ConjunctiveQuery& q1, const std::set<Value>& all_constants,
+    bool need_patterns, int threads,
+    const std::function<bool(const PatternInstance&)>& body) {
+  SweepOutcome out = SweepCanonicalDbs(q1, all_constants, need_patterns,
+                                       threads, nullptr, body);
+  VQDR_CHECK(!out.internal_error)
+      << "canonical-database sweep failed internally";
+  return out.all_passed;
 }
 
 std::set<Value> UnionConstants(const ConjunctiveQuery& a,
@@ -252,6 +325,66 @@ bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
   return CqContainedIn(q1, q2, CqContainmentOptions{});
 }
 
+namespace {
+
+// Folds a finished sweep into the public result shape. A witness is
+// definitive regardless of how the sweep ended; otherwise the outcome is
+// the budget's stop reason (kComplete when the sweep covered everything).
+ContainmentResult ResolveSweep(const SweepOutcome& sweep,
+                               guard::Budget* budget) {
+  ContainmentResult result;
+  result.patterns_checked = sweep.patterns;
+  if (!sweep.all_passed) {
+    result.contained = false;
+    return result;
+  }
+  if (sweep.internal_error) {
+    result.outcome = guard::Outcome::kInternalError;
+    return result;
+  }
+  result.outcome = guard::StopReason(budget);
+  return result;
+}
+
+}  // namespace
+
+ContainmentResult CqContainedInGoverned(const ConjunctiveQuery& q1,
+                                        const ConjunctiveQuery& q2,
+                                        const CqContainmentOptions& options) {
+  VQDR_COUNTER_INC("cq.containment.checks");
+  VQDR_TRACE_SPAN("cq.containment");
+  VQDR_CHECK(!q1.UsesNegation() && !q2.UsesNegation())
+      << "containment is not supported for CQ¬";
+  VQDR_CHECK_EQ(q1.head_arity(), q2.head_arity())
+      << "containment between different arities";
+  guard::Budget* budget = options.budget;
+
+  ContainmentResult result;
+  bool sat1 = true;
+  ConjunctiveQuery n1 = q1.PropagateEqualities(&sat1);
+  if (!sat1) return result;  // empty query contained in anything
+  bool sat2 = true;
+  ConjunctiveQuery n2 = q2.PropagateEqualities(&sat2);
+  if (!sat2) {
+    result.contained = !CqSatisfiable(n1);
+    return result;
+  }
+
+  bool need_patterns = n1.UsesDisequality() || n2.UsesDisequality();
+  SweepOutcome sweep = SweepCanonicalDbs(
+      n1, UnionConstants(n1, n2), need_patterns, ResolveThreads(options),
+      budget, [&](const PatternInstance& pattern) {
+        bool pass =
+            CqAnswerContains(n2, pattern.instance, pattern.frozen_head, budget);
+        // A budget stop mid-match makes the answer meaningless; report
+        // "pass" so it cannot masquerade as a witness — the sweep records
+        // the stop separately.
+        if (budget != nullptr && budget->Stopped()) return true;
+        return pass;
+      });
+  return ResolveSweep(sweep, budget);
+}
+
 bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
   return CqContainedIn(q1, q2) && CqContainedIn(q2, q1);
 }
@@ -295,6 +428,56 @@ bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2,
 
 bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2) {
   return UcqContainedIn(q1, q2, CqContainmentOptions{});
+}
+
+ContainmentResult UcqContainedInGoverned(const UnionQuery& q1,
+                                         const UnionQuery& q2,
+                                         const CqContainmentOptions& options) {
+  VQDR_COUNTER_INC("cq.containment.ucq_checks");
+  VQDR_TRACE_SPAN("cq.containment.ucq");
+  VQDR_CHECK(!q1.empty() && !q2.empty()) << "containment with empty UCQ";
+  VQDR_CHECK_EQ(q1.head_arity(), q2.head_arity());
+  guard::Budget* budget = options.budget;
+
+  bool q2_uses_diseq = false;
+  std::set<Value> q2_constants;
+  for (const ConjunctiveQuery& d2 : q2.disjuncts()) {
+    VQDR_CHECK(!d2.UsesNegation()) << "containment not supported for ¬";
+    if (d2.UsesDisequality()) q2_uses_diseq = true;
+    for (Value c : d2.Constants()) q2_constants.insert(c);
+  }
+
+  ContainmentResult result;
+  for (const ConjunctiveQuery& disjunct : q1.disjuncts()) {
+    VQDR_CHECK(!disjunct.UsesNegation()) << "containment not supported for ¬";
+    bool sat = true;
+    ConjunctiveQuery normalized = disjunct.PropagateEqualities(&sat);
+    if (!sat) continue;
+    if (!CqSatisfiable(normalized)) continue;
+
+    std::set<Value> constants = q2_constants;
+    for (Value c : normalized.Constants()) constants.insert(c);
+    bool need_patterns = normalized.UsesDisequality() || q2_uses_diseq;
+
+    SweepOutcome sweep = SweepCanonicalDbs(
+        normalized, constants, need_patterns, ResolveThreads(options), budget,
+        [&](const PatternInstance& pattern) {
+          Relation answer = EvaluateUcq(q2, pattern.instance);
+          if (budget != nullptr && budget->Stopped()) return true;
+          return answer.Contains(pattern.frozen_head);
+        });
+    ContainmentResult disjunct_result = ResolveSweep(sweep, budget);
+    result.patterns_checked += disjunct_result.patterns_checked;
+    if (!disjunct_result.contained) {
+      result.contained = false;
+      result.outcome = guard::Outcome::kComplete;
+      return result;
+    }
+    result.outcome =
+        guard::MergeOutcome(result.outcome, disjunct_result.outcome);
+    if (!guard::IsComplete(result.outcome)) return result;
+  }
+  return result;
 }
 
 bool UcqEquivalent(const UnionQuery& q1, const UnionQuery& q2) {

@@ -1,8 +1,11 @@
 #ifndef VQDR_CQ_CONTAINMENT_H_
 #define VQDR_CQ_CONTAINMENT_H_
 
+#include <cstdint>
+
 #include "cq/conjunctive_query.h"
 #include "cq/ucq.h"
+#include "guard/budget.h"
 
 namespace vqdr {
 
@@ -16,6 +19,27 @@ struct CqContainmentOptions {
   /// patterns, so order cannot matter). Pure CQs have a single canonical
   /// database and never fan out.
   int threads = 1;
+
+  /// Optional resource budget: one step per identification pattern, plus a
+  /// poll per matcher backtracking node inside each pattern check. Only the
+  /// *Governed entry points honour it; the bool APIs require completion.
+  guard::Budget* budget = nullptr;
+};
+
+/// Result of a governed containment test.
+struct ContainmentResult {
+  /// The verdict. Trustworthy in two cases: outcome == kComplete (the sweep
+  /// covered every pattern), or contained == false with any outcome (a
+  /// witness of non-containment was found before the stop — witnesses are
+  /// definitive). A budget-stopped sweep with no witness reports
+  /// contained == true only as "no witness found so far".
+  bool contained = true;
+
+  /// kComplete, or why the sweep stopped early.
+  guard::Outcome outcome = guard::Outcome::kComplete;
+
+  /// Identification patterns actually checked.
+  std::uint64_t patterns_checked = 0;
 };
 
 /// Q1 ⊆ Q2 for conjunctive queries (the Chandra–Merlin canonical-instance
@@ -30,6 +54,12 @@ bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
 bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
                    const CqContainmentOptions& options);
 
+/// Governed CQ(≠) containment: honours options.budget and reports a
+/// structured outcome instead of requiring the sweep to finish.
+ContainmentResult CqContainedInGoverned(const ConjunctiveQuery& q1,
+                                        const ConjunctiveQuery& q2,
+                                        const CqContainmentOptions& options);
+
 /// Q1 ≡ Q2 (containment both ways).
 bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
 
@@ -38,6 +68,11 @@ bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
 bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2);
 bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2,
                     const CqContainmentOptions& options);
+
+/// Governed UCQ containment; see CqContainedInGoverned.
+ContainmentResult UcqContainedInGoverned(const UnionQuery& q1,
+                                         const UnionQuery& q2,
+                                         const CqContainmentOptions& options);
 
 /// UCQ equivalence.
 bool UcqEquivalent(const UnionQuery& q1, const UnionQuery& q2);

@@ -31,7 +31,11 @@ struct MatchStats {
 bool MatchRec(const std::vector<Atom>& atoms, const Instance& db,
               std::vector<int>& remaining, Binding& binding,
               const std::function<bool(const Binding&)>& on_match,
-              MatchStats& stats) {
+              MatchStats& stats, guard::Budget* budget) {
+  // One budget step per backtracking node: each node's own work is bounded
+  // by the relation size, so this polls often enough for deadlines without
+  // per-tuple overhead.
+  if (!guard::IsComplete(guard::Check(budget))) return false;
   if (remaining.empty()) {
     ++stats.matches;
     return on_match(binding);
@@ -89,7 +93,8 @@ bool MatchRec(const std::vector<Atom>& atoms, const Instance& db,
       }
     }
     if (consistent) {
-      keep_going = MatchRec(atoms, db, remaining, binding, on_match, stats);
+      keep_going =
+          MatchRec(atoms, db, remaining, binding, on_match, stats, budget);
     }
     for (const auto& [var, value] : added) binding.erase(var);
     if (!keep_going) break;
@@ -132,7 +137,8 @@ bool FiltersPass(const ConjunctiveQuery& q, const Instance& db,
 
 bool ForEachMatch(const std::vector<Atom>& atoms, const Instance& db,
                   const Binding& initial,
-                  const std::function<bool(const Binding&)>& on_match) {
+                  const std::function<bool(const Binding&)>& on_match,
+                  guard::Budget* budget) {
   for (const Atom& atom : atoms) {
     // A predicate missing from the database schema denotes an empty
     // relation: the conjunction has no matches.
@@ -146,7 +152,8 @@ bool ForEachMatch(const std::vector<Atom>& atoms, const Instance& db,
   }
   Binding binding = initial;
   MatchStats stats;
-  bool completed = MatchRec(atoms, db, remaining, binding, on_match, stats);
+  bool completed =
+      MatchRec(atoms, db, remaining, binding, on_match, stats, budget);
   VQDR_COUNTER_ADD("cq.hom.attempts", stats.attempts);
   VQDR_COUNTER_ADD("cq.hom.matches", stats.matches);
   return completed;
@@ -185,7 +192,7 @@ Relation EvaluateUcq(const UnionQuery& q, const Instance& db) {
 }
 
 bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
-                      const Tuple& tuple) {
+                      const Tuple& tuple, guard::Budget* budget) {
   VQDR_COUNTER_INC("cq.answer_contains.calls");
   VQDR_CHECK_EQ(static_cast<int>(tuple.size()), q.head_arity());
   VQDR_CHECK(q.IsSafe()) << "evaluating unsafe query: " << q.ToString();
@@ -211,13 +218,16 @@ bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
   }
 
   bool found = false;
-  ForEachMatch(normalized.atoms(), db, initial, [&](const Binding& binding) {
-    if (FiltersPass(normalized, db, binding)) {
-      found = true;
-      return false;  // stop
-    }
-    return true;
-  });
+  ForEachMatch(
+      normalized.atoms(), db, initial,
+      [&](const Binding& binding) {
+        if (FiltersPass(normalized, db, binding)) {
+          found = true;
+          return false;  // stop
+        }
+        return true;
+      },
+      budget);
   return found;
 }
 

@@ -9,6 +9,7 @@
 #include "cq/conjunctive_query.h"
 #include "cq/ucq.h"
 #include "data/instance.h"
+#include "guard/budget.h"
 
 namespace vqdr {
 
@@ -23,9 +24,15 @@ using Binding = std::map<std::string, Value>;
 ///
 /// This single routine powers CQ evaluation, homomorphism search between
 /// instances, containment tests, and the chase.
+///
+/// `budget`, when non-null, is polled once per backtracking node (one step
+/// per node), so a deadline or cancellation lands promptly even when the
+/// join is exponential. A stopped budget aborts the enumeration with a
+/// false return; callers must treat that as "no answer", not "no match".
 bool ForEachMatch(const std::vector<Atom>& atoms, const Instance& db,
                   const Binding& initial,
-                  const std::function<bool(const Binding&)>& on_match);
+                  const std::function<bool(const Binding&)>& on_match,
+                  guard::Budget* budget = nullptr);
 
 /// Q(D) for a safe conjunctive query (handles =, ≠ and safe negation).
 /// Aborts on unsafe queries; unsatisfiable queries evaluate to empty.
@@ -35,8 +42,10 @@ Relation EvaluateCq(const ConjunctiveQuery& q, const Instance& db);
 Relation EvaluateUcq(const UnionQuery& q, const Instance& db);
 
 /// True iff `tuple` ∈ Q(D). For Boolean queries pass the empty tuple.
+/// With a non-null `budget` that stops mid-match, the return value is
+/// meaningless — check budget->Stopped() before trusting it.
 bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
-                      const Tuple& tuple);
+                      const Tuple& tuple, guard::Budget* budget = nullptr);
 
 /// True iff the Boolean query is satisfied (head arity must be 0).
 bool CqHolds(const ConjunctiveQuery& q, const Instance& db);

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "base/string_util.h"
@@ -33,8 +34,15 @@ class Lexer {
  public:
   explicit Lexer(std::string_view text) : text_(text) {}
 
+  // The rule grammar itself is non-recursive, but an explicit nesting cap at
+  // the lexer keeps hostile "((((..." input bounded by policy rather than by
+  // whatever the downstream parser happens to tolerate (mirrors the FO
+  // parser's recursion-depth limit).
+  static constexpr int kMaxNesting = 256;
+
   StatusOr<std::vector<Token>> Tokenize() {
     std::vector<Token> tokens;
+    int depth = 0;
     while (pos_ < text_.size()) {
       char c = text_[pos_];
       if (std::isspace(static_cast<unsigned char>(c))) {
@@ -65,10 +73,16 @@ class Lexer {
       }
       switch (c) {
         case '(':
+          if (++depth > kMaxNesting) {
+            return Status::InvalidArgument(
+                "parenthesis nesting exceeds the depth limit (" +
+                std::to_string(kMaxNesting) + ")");
+          }
           tokens.push_back({TokenKind::kLparen, "("});
           ++pos_;
           break;
         case ')':
+          if (depth > 0) --depth;
           tokens.push_back({TokenKind::kRparen, ")"});
           ++pos_;
           break;

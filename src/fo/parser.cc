@@ -1,6 +1,7 @@
 #include "fo/parser.h"
 
 #include <cctype>
+#include <string>
 #include <vector>
 
 namespace vqdr {
@@ -169,6 +170,18 @@ class FoParser {
   }
 
  private:
+  // Hostile input ("!!!!..." or "((((...") drives the descent as deep as the
+  // input is long; cap it well before the thread stack gives out. Every
+  // recursion cycle passes through ParseUnary, so guarding there bounds the
+  // whole parse.
+  static constexpr int kMaxDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(int& d) : depth(d) { ++depth; }
+    ~DepthGuard() { --depth; }
+    int& depth;
+  };
+
   const Token& Peek() const { return tokens_[pos_]; }
   const Token& Advance() { return tokens_[pos_++]; }
   bool Consume(Tok kind) {
@@ -241,6 +254,12 @@ class FoParser {
   }
 
   StatusOr<FoPtr> ParseUnary() {
+    DepthGuard guard(depth_);
+    if (depth_ > kMaxDepth) {
+      return Status::InvalidArgument(
+          "formula nesting exceeds the depth limit (" +
+          std::to_string(kMaxDepth) + ")");
+    }
     const Token& t = Peek();
     if (t.kind == Tok::kBang) {
       Advance();
@@ -318,6 +337,7 @@ class FoParser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   NamePool& pool_;
 };
 

@@ -38,7 +38,8 @@ std::vector<Tuple> UniverseTuples(int arity, const std::vector<Value>& universe)
 EnumerationOutcome ForEachInstanceOver(
     const Schema& schema, const std::vector<Value>& universe,
     std::uint64_t max_instances,
-    const std::function<bool(const Instance&)>& body) {
+    const std::function<bool(const Instance&)>& body,
+    guard::Budget* budget) {
   EnumerationOutcome outcome;
 
   std::vector<std::vector<Tuple>> pools;
@@ -49,6 +50,7 @@ EnumerationOutcome ForEachInstanceOver(
       // incomplete (empty) sweep instead of aborting, so budgeted callers
       // degrade gracefully.
       outcome.complete = false;
+      outcome.outcome = guard::Outcome::kStepBudgetExhausted;
       return outcome;
     }
   }
@@ -59,6 +61,13 @@ EnumerationOutcome ForEachInstanceOver(
       ++outcome.visited;
       if (outcome.visited > max_instances) {
         outcome.complete = false;
+        outcome.outcome = guard::Outcome::kStepBudgetExhausted;
+        return false;
+      }
+      guard::Outcome check = guard::Check(budget);
+      if (!guard::IsComplete(check)) {
+        outcome.complete = false;
+        outcome.outcome = check;
         return false;
       }
       return body(current);
@@ -166,7 +175,8 @@ EnumerationOutcome ForEachInstance(
     const std::function<bool(const Instance&)>& body) {
   std::vector<Value> universe;
   for (int v = 1; v <= options.domain_size; ++v) universe.push_back(Value(v));
-  return ForEachInstanceOver(schema, universe, options.max_instances, body);
+  return ForEachInstanceOver(schema, universe, options.max_instances, body,
+                             options.budget);
 }
 
 EnumerationOutcome ForEachInstanceUpToIso(

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "data/instance.h"
+#include "guard/budget.h"
 
 namespace vqdr {
 
@@ -25,12 +26,23 @@ struct EnumerationOptions {
   /// work-stealing pool of N workers with a deterministic lowest-index-wins
   /// merge. Plain ForEachInstance* enumeration ignores this field.
   int threads = 1;
+
+  /// Optional resource budget. When set, enumeration (and every search
+  /// built on it) checkpoints once per instance and stops cleanly on
+  /// deadline, step, memory, or cancellation; the sweep reports the stop
+  /// reason instead of a covered space. nullptr = ungoverned.
+  guard::Budget* budget = nullptr;
 };
 
 /// Result flag: did the enumeration cover the whole space?
 struct EnumerationOutcome {
   bool complete = true;
   std::uint64_t visited = 0;
+
+  /// Why the sweep ended: kComplete for a covered space or an early body
+  /// stop; otherwise the budget's stop reason (max_instances truncation
+  /// reports kStepBudgetExhausted).
+  guard::Outcome outcome = guard::Outcome::kComplete;
 };
 
 /// Calls `body` for every instance over `schema` with active domain
@@ -49,10 +61,12 @@ EnumerationOutcome ForEachInstanceUpToIso(
 
 /// Enumerates instances whose values are drawn from an explicit `universe`
 /// (used by pre-image search, where view-extent values must be available).
+/// `budget`, when non-null, is checkpointed once per instance.
 EnumerationOutcome ForEachInstanceOver(
     const Schema& schema, const std::vector<Value>& universe,
     std::uint64_t max_instances,
-    const std::function<bool(const Instance&)>& body);
+    const std::function<bool(const Instance&)>& body,
+    guard::Budget* budget = nullptr);
 
 /// Random access into the instance space ForEachInstanceOver walks: the
 /// cross product of per-relation tuple-subset choices, with relation 0 the

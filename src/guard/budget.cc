@@ -1,0 +1,76 @@
+#include "guard/budget.h"
+
+#ifndef VQDR_GUARD_DISABLED
+
+#include "guard/fault.h"
+
+namespace vqdr::guard {
+
+Budget::Budget(const BudgetSpec& spec) : spec_(spec) {
+  if (spec_.wall_ms >= 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(spec_.wall_ms);
+  }
+}
+
+Outcome Budget::Trip(Outcome o) {
+  int expected = 0;
+  int desired = static_cast<int>(o);
+  if (stop_.compare_exchange_strong(expected, desired,
+                                    std::memory_order_acq_rel)) {
+    return o;
+  }
+  // Already stopped. An internal error still takes over a softer reason so
+  // captured faults are never masked by a concurrent budget trip.
+  if (o == Outcome::kInternalError) {
+    stop_.store(desired, std::memory_order_release);
+    return o;
+  }
+  return static_cast<Outcome>(expected);
+}
+
+Outcome Budget::Checkpoint(std::uint64_t steps) {
+  int stopped = stop_.load(std::memory_order_relaxed);
+  if (stopped != 0) return static_cast<Outcome>(stopped);
+
+  std::uint64_t used =
+      steps_.fetch_add(steps, std::memory_order_relaxed) + steps;
+  if (spec_.max_steps != 0 && used > spec_.max_steps) {
+    return Trip(Outcome::kStepBudgetExhausted);
+  }
+
+#ifndef VQDR_GUARD_FAULTS_DISABLED
+  if (CancelFaultDue(used)) return Trip(Outcome::kCancelled);
+#endif
+
+  if (has_deadline_) {
+    // Amortized deadline check: decrement a shared countdown and read the
+    // clock only when it crosses zero. The reset races benignly across
+    // workers — at worst the clock is read a little more often.
+    std::uint64_t left =
+        until_clock_check_.fetch_sub(steps, std::memory_order_relaxed);
+    if (left <= steps) {
+      until_clock_check_.store(kClockStride, std::memory_order_relaxed);
+      if (std::chrono::steady_clock::now() >= deadline_) {
+        return Trip(Outcome::kDeadlineExceeded);
+      }
+    }
+  }
+  return Outcome::kComplete;
+}
+
+Outcome Budget::NoteAtoms(std::uint64_t atoms) {
+  int stopped = stop_.load(std::memory_order_relaxed);
+  if (stopped != 0) return static_cast<Outcome>(stopped);
+  std::uint64_t used =
+      atoms_.fetch_add(atoms, std::memory_order_relaxed) + atoms;
+  if (spec_.max_atoms != 0 && used > spec_.max_atoms) {
+    return Trip(Outcome::kMemoryBudgetExhausted);
+  }
+  return Outcome::kComplete;
+}
+
+}  // namespace vqdr::guard
+
+#endif  // VQDR_GUARD_DISABLED

@@ -1,0 +1,43 @@
+#include "guard/outcome.h"
+
+namespace vqdr::guard {
+
+const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kComplete:
+      return "COMPLETE";
+    case Outcome::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case Outcome::kStepBudgetExhausted:
+      return "STEP_BUDGET_EXHAUSTED";
+    case Outcome::kMemoryBudgetExhausted:
+      return "MEMORY_BUDGET_EXHAUSTED";
+    case Outcome::kCancelled:
+      return "CANCELLED";
+    case Outcome::kInternalError:
+      return "INTERNAL_ERROR";
+  }
+  return "INTERNAL_ERROR";
+}
+
+Outcome MergeOutcome(Outcome a, Outcome b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+Status OutcomeToStatus(Outcome o, const std::string& context) {
+  switch (o) {
+    case Outcome::kComplete:
+      return Status::Ok();
+    case Outcome::kDeadlineExceeded:
+    case Outcome::kStepBudgetExhausted:
+    case Outcome::kMemoryBudgetExhausted:
+      return Status::ResourceExhausted(context + ": " + OutcomeName(o));
+    case Outcome::kCancelled:
+      return Status::Cancelled(context + ": cancelled");
+    case Outcome::kInternalError:
+      return Status::Internal(context + ": internal error");
+  }
+  return Status::Internal(context + ": internal error");
+}
+
+}  // namespace vqdr::guard

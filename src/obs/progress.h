@@ -52,13 +52,20 @@ class ProgressTicker {
                  std::uint64_t total = 0);
 
   /// Counts one unit of work. Returns false when the callback asked to stop.
+  /// Cancellation is latched: once the callback returns false, every later
+  /// Tick() keeps returning false without re-asking the callback.
   bool Tick() {
+    if (cancelled_) return false;
     ++count_;
     if (!enabled_ || count_ % stride_ != 0) return true;
-    return Report();
+    if (!Report()) cancelled_ = true;
+    return !cancelled_;
   }
 
   std::uint64_t count() const { return count_; }
+
+  /// True once the callback has requested cancellation.
+  bool cancelled() const { return cancelled_; }
 
  private:
   bool Report();
@@ -68,6 +75,7 @@ class ProgressTicker {
   std::uint64_t total_;
   std::uint64_t count_ = 0;
   bool enabled_;
+  bool cancelled_ = false;
 };
 
 }  // namespace vqdr::obs

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "guard/fault.h"
+
 namespace vqdr::par {
 
 namespace {
@@ -98,7 +100,19 @@ bool ThreadPool::TryRunOne(int self) {
   if (!task) return false;
 
   queued_.fetch_sub(1, std::memory_order_relaxed);
-  task();
+  try {
+    VQDR_FAULT_TASK("pool.task");
+    task();
+  } catch (...) {
+    // A throwing task must not escape into the worker loop (std::terminate)
+    // or stall the drain: record it and keep going. Wait() still sees the
+    // pending_ decrement below, and the caller reads error_count() after.
+    {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    error_count_.fetch_add(1, std::memory_order_release);
+  }
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(mu_);
     idle_cv_.notify_all();
@@ -128,6 +142,14 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] {
     return pending_.load(std::memory_order_acquire) == 0;
   });
+}
+
+std::exception_ptr ThreadPool::TakeFirstError() {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  std::exception_ptr e = first_error_;
+  first_error_ = nullptr;
+  error_count_.store(0, std::memory_order_release);
+  return e;
 }
 
 void ParallelForChunks(ThreadPool& pool, std::uint64_t num_chunks,

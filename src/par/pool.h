@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -53,6 +54,17 @@ class ThreadPool {
   /// has finished. Callable only from outside the pool.
   void Wait();
 
+  /// Tasks that threw. A throwing task never takes the pool down: the worker
+  /// captures the exception, the pool keeps draining, and the caller checks
+  /// here after Wait() to surface a structured internal-error outcome.
+  std::uint64_t error_count() const {
+    return error_count_.load(std::memory_order_acquire);
+  }
+
+  /// The first captured exception (null when error_count() == 0), clearing
+  /// the error state. Call after Wait(); rethrow or inspect as needed.
+  std::exception_ptr TakeFirstError();
+
  private:
   struct Deque {
     std::mutex mu;
@@ -76,6 +88,10 @@ class ThreadPool {
   std::atomic<std::uint64_t> pending_{0};
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> next_deque_{0};
+
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+  std::atomic<std::uint64_t> error_count_{0};
 };
 
 /// Submits one task per chunk id in [0, num_chunks) and waits for all of

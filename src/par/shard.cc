@@ -30,15 +30,20 @@ ShardPlan PlanShards(std::uint64_t total, int threads,
 }
 
 OpContext::OpContext(const char* phase, std::uint64_t total,
-                     std::uint64_t stride)
+                     std::uint64_t stride, guard::Budget* budget)
     : phase_(phase),
       total_(total),
       stride_(stride == 0 ? 1 : stride),
       enabled_(obs::ProgressEnabled()),
+      budget_(budget),
       next_report_(stride == 0 ? 1 : stride) {}
 
 bool OpContext::AddProgress(std::uint64_t n) {
   std::uint64_t done = done_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (!guard::IsComplete(guard::Check(budget_, n))) {
+    Cancel();
+    return false;
+  }
   if (!enabled_) return !cancelled();
   if (done >= next_report_.load(std::memory_order_relaxed)) {
     // One reporter at a time; a worker that loses the race just skips the

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "guard/budget.h"
+
 // Deterministic sharding and merge primitives on top of par/pool.h.
 //
 // The contract every parallel engine in this library honours: the *answer*
@@ -81,11 +83,15 @@ class FirstHit {
 /// single-threaded tickers; they never see concurrent invocations).
 class OpContext {
  public:
-  OpContext(const char* phase, std::uint64_t total, std::uint64_t stride);
+  /// `budget`, when non-null, is charged by every AddProgress call; a budget
+  /// trip cancels the operation the same way a progress callback would.
+  OpContext(const char* phase, std::uint64_t total, std::uint64_t stride,
+            guard::Budget* budget = nullptr);
 
-  /// Records `n` completed units. May invoke the progress callback; if the
-  /// callback asks to stop, the operation is cancelled. Returns false once
-  /// cancelled — callers should unwind at the next safe point.
+  /// Records `n` completed units against the budget and the progress
+  /// aggregate. May invoke the progress callback; if the callback asks to
+  /// stop or the budget trips, the operation is cancelled. Returns false
+  /// once cancelled — callers should unwind at the next safe point.
   bool AddProgress(std::uint64_t n);
 
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
@@ -95,11 +101,23 @@ class OpContext {
 
   std::uint64_t done() const { return done_.load(std::memory_order_relaxed); }
 
+  guard::Budget* budget() const { return budget_; }
+
+  /// How the operation ended: the budget's stop reason when it tripped,
+  /// kCancelled for a callback-driven stop, kComplete otherwise.
+  guard::Outcome outcome() const {
+    guard::Outcome o = guard::StopReason(budget_);
+    if (!guard::IsComplete(o)) return o;
+    return cancelled() ? guard::Outcome::kCancelled
+                       : guard::Outcome::kComplete;
+  }
+
  private:
   const char* phase_;
   std::uint64_t total_;
   std::uint64_t stride_;
   bool enabled_;
+  guard::Budget* budget_;
   std::atomic<std::uint64_t> done_{0};
   std::atomic<std::uint64_t> next_report_;
   std::mutex report_mu_;

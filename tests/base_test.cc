@@ -104,6 +104,39 @@ TEST(NamePoolTest, InternIsIdempotent) {
   EXPECT_EQ(pool.MaxId(), b.id);
 }
 
+TEST(StatusTest, NamedConstructorsCarryCodes) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::ResourceExhausted("out").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("stop").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Internal("broke").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Error("plain").code(), StatusCode::kUnknown);
+  EXPECT_EQ(Status::Ok().code(), StatusCode::kOk);
+  for (Status s : {Status::InvalidArgument("a"), Status::ResourceExhausted("b"),
+                   Status::Cancelled("c"), Status::Internal("d")}) {
+    EXPECT_FALSE(s.ok());
+  }
+}
+
+TEST(StatusTest, ErrorWithOkCodeIsCoercedToUnknown) {
+  // An "error" cannot claim to be OK; the constructor rejects the lie.
+  Status s = Status::Error("oops", StatusCode::kOk);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnknown);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnknown), "UNKNOWN");
+}
+
 TEST(ValueFactoryTest, FreshNeverCollides) {
   ValueFactory factory;
   factory.NoteUsed(Value(10));

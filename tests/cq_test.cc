@@ -261,6 +261,37 @@ TEST_F(CqFixture, RenameVariablesPreservesStructure) {
   EXPECT_EQ(renamed.disequalities()[0].rhs.var(), "y_1");
 }
 
+TEST_F(CqFixture, DeeplyNestedParensAreRejectedNotOverflowed) {
+  // The rule grammar is flat, but the lexer still caps hostile "((((..."
+  // input explicitly instead of leaving the bound to downstream behavior.
+  std::string text = "Q(x) :- R";
+  text += std::string(10'000, '(');
+  auto q = ParseCq(text, pool_);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CqFixture, MalformedQueryCorpusErrorsCleanly) {
+  const char* corpus[] = {
+      "",
+      "Q",
+      "Q(x)",
+      "Q(x) :-",
+      "Q(x) :- R(x,",
+      "Q(x) :- R(x))",
+      "Q(x) : R(x)",
+      "Q(x) :- not",
+      "Q(x) :- x =",
+      "Q(x) :- 'unterminated",
+      "Q(x) :- R(x) !",
+      "Q(x) :- R(x) | S(x)",  // pipe only valid in ParseUcq
+  };
+  for (const char* text : corpus) {
+    auto q = ParseCq(text, pool_);
+    EXPECT_FALSE(q.ok()) << "accepted malformed: " << text;
+  }
+}
+
 TEST_F(CqFixture, ParseInstanceErrors) {
   Schema schema{{"R", 2}};
   EXPECT_FALSE(ParseInstance("S(a)", schema, pool_).ok());

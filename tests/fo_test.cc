@@ -213,6 +213,65 @@ TEST_F(FoFixture, OrderInvarianceDetectsNonInvariantQuery) {
   EXPECT_FALSE(result.invariant);
 }
 
+TEST_F(FoFixture, DeeplyNestedNegationIsRejectedNotOverflowed) {
+  // 10k-deep "!" chain: without the parser's depth limit this would
+  // overflow the thread stack in the recursive descent.
+  std::string text(10'000, '!');
+  text += "P(x)";
+  auto f = ParseFo(text, pool_);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FoFixture, DeeplyNestedParensAreRejectedNotOverflowed) {
+  std::string text(10'000, '(');
+  text += "P(x)";
+  text += std::string(10'000, ')');
+  auto f = ParseFo(text, pool_);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FoFixture, DeeplyNestedQuantifiersAreRejectedNotOverflowed) {
+  std::string text;
+  for (int i = 0; i < 5'000; ++i) text += "exists x . ";
+  text += "P(x)";
+  auto f = ParseFo(text, pool_);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FoFixture, ModerateNestingStillParses) {
+  // The limit must not reject reasonable formulas.
+  std::string text(100, '!');
+  text += "P(x)";
+  EXPECT_TRUE(ParseFo(text, pool_).ok());
+}
+
+TEST_F(FoFixture, MalformedFormulaCorpusErrorsCleanly) {
+  const char* corpus[] = {
+      "",
+      "P(",
+      "P(x",
+      "P(x,",
+      "forall . P(x)",
+      "exists x P(x)",
+      "P(x) &",
+      "| P(x)",
+      "P(x) ->",
+      "x =",
+      "!= y",
+      "'unterminated",
+      "P(x) @ Q(y)",
+      "((P(x))",
+      "P(x))",
+  };
+  for (const char* text : corpus) {
+    auto f = ParseFo(text, pool_);
+    EXPECT_FALSE(f.ok()) << "accepted malformed: " << text;
+  }
+}
+
 TEST_F(FoFixture, WithStrictOrderBuildsAllPairs) {
   Schema schema{{"P", 1}};
   Instance d = Db("P(a), P(b), P(c)", schema);

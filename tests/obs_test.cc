@@ -182,6 +182,27 @@ TEST(ObsProgress, TickerThrottlesAndReportsPhase) {
   EXPECT_EQ(ticker.count(), 35u);
 }
 
+TEST(ObsProgress, TickerLatchesCancellation) {
+  // Once the callback returns false, every later Tick() must keep
+  // returning false without re-asking (and possibly re-granting) on the
+  // next stride boundary.
+  int calls = 0;
+  obs::SetProgressCallback([&](const obs::ProgressEvent&) {
+    ++calls;
+    return false;
+  });
+  obs::ProgressTicker ticker("test.progress.latch", /*stride=*/4);
+  EXPECT_TRUE(ticker.Tick());   // 1
+  EXPECT_TRUE(ticker.Tick());   // 2
+  EXPECT_TRUE(ticker.Tick());   // 3
+  EXPECT_FALSE(ticker.Tick());  // 4: callback fires, cancels
+  EXPECT_TRUE(ticker.cancelled());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(ticker.Tick());
+  obs::ClearProgressCallback();
+  EXPECT_EQ(calls, 1);  // never re-asked after the latch
+  EXPECT_EQ(ticker.count(), 4u);  // cancelled ticks are not counted as work
+}
+
 TEST(ObsProgress, CallbackCancellationStopsFiniteSearch) {
   // A callback that cancels immediately turns the (huge) search into a
   // budget-exhausted verdict after at most one stride of instances.
