@@ -1,0 +1,193 @@
+// Memo subsystem hot-path win: repeat-heavy workloads timed cold (memo off)
+// once, then warm against a pre-warmed store. Each benchmark reports
+// `hit_rate` (store hits / lookups across the timed loop) and
+// `speedup_vs_cold` (cold wall time / warm wall time for the same
+// workload), so the emitted BENCH_memo.json carries the cache's measured
+// value wherever it runs. Verdicts are identical either way — the
+// differential battery (test_memo_differential) holds that line; only the
+// wall clock moves here.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
+#include <vector>
+
+#include "bench_json.h"
+
+#include "core/determinacy_batch.h"
+#include "cq/containment.h"
+#include "gen/random_query.h"
+#include "gen/workloads.h"
+#include "memo/memo.h"
+#include "memo/store.h"
+
+namespace vqdr {
+namespace {
+
+double SecondsPerRun(const std::function<void()>& run) {
+  auto start = std::chrono::steady_clock::now();
+  run();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Attaches the two headline counters from a timed cold run, a timed warm
+// run, and the store's stats delta across the benchmark loop.
+void ReportMemoCounters(benchmark::State& state, double cold_seconds,
+                        double warm_seconds,
+                        const memo::StatsSnapshot& delta) {
+  double lookups = static_cast<double>(delta.hits + delta.misses);
+  state.counters["hit_rate"] =
+      lookups > 0 ? static_cast<double>(delta.hits) / lookups : 0.0;
+  state.counters["speedup_vs_cold"] =
+      warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0;
+}
+
+// A chain query with a head-to-tail disequality: containment against itself
+// *holds*, so the identification-pattern sweep cannot early-exit and cold
+// runs pay the full Bell-number sweep over the chain's variables.
+ConjunctiveQuery DiseqChain(int length) {
+  ConjunctiveQuery q = ChainQuery(length);
+  q.AddDisequality(Term::Var("x0"), Term::Var("x" + std::to_string(length)));
+  return q;
+}
+
+// A ≠-laden containment slate dominated by positive (full-sweep) checks:
+// the pattern sweeps dominate cold runs, a fingerprint + lookup dominates
+// warm ones.
+std::vector<std::pair<ConjunctiveQuery, ConjunctiveQuery>>
+ContainmentSlate() {
+  std::vector<std::pair<ConjunctiveQuery, ConjunctiveQuery>> slate;
+  for (int length = 4; length <= 6; ++length) {
+    slate.emplace_back(DiseqChain(length), DiseqChain(length));
+  }
+  slate.emplace_back(DiseqChain(5), DiseqChain(4));
+  slate.emplace_back(ChainQuery(5), ChainQuery(3));
+  RandomCqOptions opts;
+  opts.max_atoms = 4;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    ConjunctiveQuery a = RandomCq(rng, opts);
+    ConjunctiveQuery b = RandomCq(rng, opts);
+    slate.emplace_back(a, b);
+  }
+  return slate;
+}
+
+void BM_MemoContainmentWarm(benchmark::State& state) {
+  auto slate = ContainmentSlate();
+  auto run = [&slate](const CqContainmentOptions& options) {
+    for (const auto& [a, b] : slate) {
+      bool r = CqContainedIn(a, b, options);
+      benchmark::DoNotOptimize(r);
+    }
+  };
+
+  CqContainmentOptions cold;
+  cold.memo = {memo::Use::kOff, nullptr};
+  double cold_seconds = SecondsPerRun([&] { run(cold); });
+
+  memo::Store store(4096);
+  CqContainmentOptions warm;
+  warm.memo = {memo::Use::kOn, &store};
+  run(warm);  // warm the store once, outside the timed loop
+
+  memo::StatsSnapshot before = store.Stats();
+  for (auto _ : state) run(warm);
+  memo::StatsSnapshot delta = store.Stats().Delta(before);
+  double warm_seconds = SecondsPerRun([&] { run(warm); });
+  ReportMemoCounters(state, cold_seconds, warm_seconds, delta);
+}
+BENCHMARK(BM_MemoContainmentWarm)->Unit(benchmark::kMillisecond);
+
+void BM_MemoDeterminacyBatchWarm(benchmark::State& state) {
+  // A batch whose items repeat (every pair appears three times): even a
+  // single batch submission amortizes each decision across its duplicates,
+  // and re-submissions are pure hits.
+  std::vector<DeterminacyBatchItem> items;
+  for (int length = 3; length <= 5; ++length) {
+    DeterminacyBatchItem item;
+    item.views = PathViews(2);
+    item.query = ChainQuery(length);
+    items.push_back(item);
+  }
+  RandomCqOptions opts;
+  opts.max_atoms = 4;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    DeterminacyBatchItem item;
+    item.views = RandomCqViews(rng, opts, /*count=*/2);
+    item.query = RandomCq(rng, opts);
+    items.push_back(item);
+  }
+  // Triplicate the slate: duplicates amortize within one submission, and
+  // re-submissions are pure hits.
+  std::vector<DeterminacyBatchItem> base = items;
+  for (int copy = 0; copy < 2; ++copy) {
+    items.insert(items.end(), base.begin(), base.end());
+  }
+
+  memo::MemoOptions cold{memo::Use::kOff, nullptr};
+  double cold_seconds = SecondsPerRun([&] {
+    auto r = DecideUnrestrictedDeterminacyBatch(items, /*threads=*/1, cold);
+    benchmark::DoNotOptimize(r);
+  });
+
+  memo::Store store(4096);
+  memo::MemoOptions warm{memo::Use::kOn, &store};
+  auto warm_run = [&] {
+    auto r = DecideUnrestrictedDeterminacyBatch(items, /*threads=*/1, warm);
+    benchmark::DoNotOptimize(r);
+  };
+  warm_run();
+
+  memo::StatsSnapshot before = store.Stats();
+  for (auto _ : state) warm_run();
+  memo::StatsSnapshot delta = store.Stats().Delta(before);
+  double warm_seconds = SecondsPerRun(warm_run);
+  ReportMemoCounters(state, cold_seconds, warm_seconds, delta);
+}
+BENCHMARK(BM_MemoDeterminacyBatchWarm)->Unit(benchmark::kMillisecond);
+
+void BM_MemoIsomorphSharing(benchmark::State& state) {
+  // Sixteen renamed/reshuffled copies of one expensive containment check:
+  // canonical keys fold them all onto a single cache entry, so the warm
+  // workload pays one computation plus fifteen fingerprints.
+  ConjunctiveQuery base1 = DiseqChain(5);
+  ConjunctiveQuery base2 = DiseqChain(5);
+
+  std::vector<ConjunctiveQuery> copies;
+  for (int i = 0; i < 16; ++i) {
+    copies.push_back(base1.RenameVariables(
+        [i](const std::string& v) { return v + "_" + std::to_string(i); }));
+  }
+
+  auto run = [&](const CqContainmentOptions& options) {
+    for (const ConjunctiveQuery& q : copies) {
+      bool r = CqContainedIn(q, base2, options);
+      benchmark::DoNotOptimize(r);
+    }
+  };
+  CqContainmentOptions cold;
+  cold.memo = {memo::Use::kOff, nullptr};
+  double cold_seconds = SecondsPerRun([&] { run(cold); });
+
+  memo::Store store(256);
+  CqContainmentOptions warm;
+  warm.memo = {memo::Use::kOn, &store};
+  run(warm);
+
+  memo::StatsSnapshot before = store.Stats();
+  for (auto _ : state) run(warm);
+  memo::StatsSnapshot delta = store.Stats().Delta(before);
+  double warm_seconds = SecondsPerRun([&] { run(warm); });
+  ReportMemoCounters(state, cold_seconds, warm_seconds, delta);
+}
+BENCHMARK(BM_MemoIsomorphSharing)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vqdr
+
+VQDR_BENCH_MAIN("memo");

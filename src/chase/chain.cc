@@ -1,5 +1,6 @@
 #include "chase/chain.h"
 
+#include <string>
 #include <utility>
 
 #include "base/check.h"
@@ -8,7 +9,29 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 
+#ifndef VQDR_MEMO_DISABLED
+#include "cq/fingerprint.h"
+#include "memo/store.h"
+#endif
+
 namespace vqdr {
+
+namespace {
+
+#ifndef VQDR_MEMO_DISABLED
+/// A cached chain plus the factory state after the build, so a hit can
+/// replay the exact factory advance of the original computation.
+struct CachedChaseChain {
+  ChaseChain chain;
+  std::int64_t end_next_id = 0;
+};
+#endif
+
+ChaseChain BuildChaseChainImpl(const ViewSet& views, const ConjunctiveQuery& q,
+                               const ChaseChainOptions& options,
+                               ValueFactory& factory);
+
+}  // namespace
 
 ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
                            int levels, ValueFactory& factory) {
@@ -20,6 +43,38 @@ ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
 ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
                            const ChaseChainOptions& options,
                            ValueFactory& factory) {
+#ifndef VQDR_MEMO_DISABLED
+  if (memo::ResolveUse(options.memo)) {
+    VQDR_TRACE_SPAN("memo.chase.chain");
+    // Exact key: the chain's instances carry concrete value ids, so the
+    // whole input state — including where the factory will mint from — must
+    // match for a cached chain to be byte-identical.
+    std::string key = "chase.chain|" + views.ToString() + "|" +
+                      ExactCqKey(q) + "|L" +
+                      std::to_string(options.levels) + "|F" +
+                      std::to_string(factory.next_id());
+    memo::Store& store = memo::ResolveStore(options.memo);
+    if (auto hit = store.Get<CachedChaseChain>(key)) {
+      factory.NoteUsed(Value(hit->end_next_id - 1));
+      return hit->chain;
+    }
+    ChaseChain chain = BuildChaseChainImpl(views, q, options, factory);
+    // Never cache partial results: a truncated or errored chain reflects the
+    // budget/fault environment of this one call, not the inputs.
+    if (guard::IsComplete(chain.outcome)) {
+      store.Put(key, CachedChaseChain{chain, factory.next_id()});
+    }
+    return chain;
+  }
+#endif
+  return BuildChaseChainImpl(views, q, options, factory);
+}
+
+namespace {
+
+ChaseChain BuildChaseChainImpl(const ViewSet& views, const ConjunctiveQuery& q,
+                               const ChaseChainOptions& options,
+                               ValueFactory& factory) {
   const int levels = options.levels;
   guard::Budget* budget = options.budget;
   VQDR_COUNTER_INC("chase.chain.builds");
@@ -27,6 +82,14 @@ ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
   VQDR_CHECK(views.AllPureCq()) << "chase chain requires pure CQ views";
   VQDR_CHECK(q.IsPureCq()) << "chase chain requires a pure CQ query";
   VQDR_CHECK_GE(levels, 0);
+
+  // Freeze only notes q's own constants; constants appearing solely in a
+  // view definition would otherwise be reachable by the frozen values of
+  // [Q] and alias a chase null to a dom constant at level 0 (ViewInverse
+  // guards its own minting the same way for deeper levels).
+  for (const View& v : views.views()) {
+    for (Value c : v.query.AsCq().Constants()) factory.NoteUsed(c);
+  }
 
   ChaseChain chain;
   chain.frozen_query = Freeze(q, factory);
@@ -106,5 +169,7 @@ ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
   }
   return chain;
 }
+
+}  // namespace
 
 }  // namespace vqdr

@@ -6,6 +6,7 @@
 #include "cq/canonical.h"
 #include "cq/conjunctive_query.h"
 #include "guard/budget.h"
+#include "memo/memo.h"
 #include "views/view_set.h"
 
 namespace vqdr {
@@ -52,6 +53,12 @@ struct ChaseChainOptions {
   /// caps the chain depth. A trip truncates the chain at a level boundary —
   /// the partially-built level is discarded. nullptr = ungoverned.
   guard::Budget* budget = nullptr;
+
+  /// Result memoization policy. Chase results are cached under an exact key
+  /// (views + query serialization + levels + factory state) and only when
+  /// the build ran to kComplete; a hit replays the factory advance so the
+  /// caller observes byte-identical state. See DESIGN.md §9.
+  memo::MemoOptions memo;
 };
 
 /// Builds `levels`+1 levels of the chain for pure CQ views and query.

@@ -1,11 +1,17 @@
 #include "chase/view_inverse.h"
 
 #include <map>
+#include <string>
 
 #include "base/check.h"
 #include "guard/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+
+#ifndef VQDR_MEMO_DISABLED
+#include "cq/fingerprint.h"
+#include "memo/store.h"
+#endif
 
 namespace vqdr {
 
@@ -17,9 +23,56 @@ Schema ChaseSchema(const ViewSet& views, const Schema& base) {
   return schema;
 }
 
+namespace {
+
+#ifndef VQDR_MEMO_DISABLED
+/// A cached inverse plus the factory state after the call, so a hit replays
+/// the exact minting of the original computation.
+struct CachedInverse {
+  Instance result;
+  std::int64_t end_next_id = 0;
+};
+#endif
+
+Instance ViewInverseImpl(const ViewSet& views, const Instance& base,
+                         const Instance& s_prime, ValueFactory& factory,
+                         guard::Budget* budget);
+
+}  // namespace
+
 Instance ViewInverse(const ViewSet& views, const Instance& base,
                      const Instance& s_prime, ValueFactory& factory,
                      guard::Budget* budget) {
+#ifndef VQDR_MEMO_DISABLED
+  if (memo::Enabled()) {
+    VQDR_TRACE_SPAN("memo.chase.view_inverse");
+    // Exact key: the result carries concrete minted ids, so both input
+    // digests and the factory state must match for a replay.
+    std::string key = "chase.vinv|" + views.ToString() + "|" +
+                      InstanceMemoKey(base) + "|" + InstanceMemoKey(s_prime) +
+                      "|F" + std::to_string(factory.next_id());
+    memo::Store& store = memo::GlobalStore();
+    if (auto hit = store.Get<CachedInverse>(key)) {
+      factory.NoteUsed(Value(hit->end_next_id - 1));
+      return hit->result;
+    }
+    Instance result = ViewInverseImpl(views, base, s_prime, factory, budget);
+    // A budget-stopped inverse is partial; a thrown fault never reaches this
+    // line. Only complete results are installed.
+    if (budget == nullptr || !budget->Stopped()) {
+      store.Put(key, CachedInverse{result, factory.next_id()});
+    }
+    return result;
+  }
+#endif
+  return ViewInverseImpl(views, base, s_prime, factory, budget);
+}
+
+namespace {
+
+Instance ViewInverseImpl(const ViewSet& views, const Instance& base,
+                         const Instance& s_prime, ValueFactory& factory,
+                         guard::Budget* budget) {
   VQDR_COUNTER_INC("chase.view_inverse.calls");
   VQDR_TRACE_SPAN("chase.view_inverse");
   VQDR_CHECK(views.AllPureCq()) << "ViewInverse requires pure CQ views";
@@ -33,6 +86,15 @@ Instance ViewInverse(const ViewSet& views, const Instance& base,
   // Everything already present must not collide with fresh values.
   factory.NoteUsed(Value(base.MaxValueId()));
   factory.NoteUsed(Value(s_prime.MaxValueId()));
+  // Constants of the view definitions enter the result through resolve()
+  // exactly like pre-existing values, but need not occur in base or s_prime:
+  // a view whose body mentions a constant only contributes it when its head
+  // matches a new tuple. A fresh value colliding with such a constant would
+  // alias a chase null to a dom constant and corrupt every later level, so
+  // advance past all of them up front.
+  for (const View& v : views.views()) {
+    for (Value c : v.query.AsCq().Constants()) factory.NoteUsed(c);
+  }
 
   Instance s = views.Apply(base);
 
@@ -91,5 +153,7 @@ Instance ViewInverse(const ViewSet& views, const Instance& base,
   VQDR_HISTOGRAM_RECORD("chase.view_inverse.result_size", result.TupleCount());
   return result;
 }
+
+}  // namespace
 
 }  // namespace vqdr

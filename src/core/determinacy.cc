@@ -7,9 +7,48 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
+#ifndef VQDR_MEMO_DISABLED
+#include <string>
+
+#include "cq/fingerprint.h"
+#include "memo/store.h"
+#endif
+
 namespace vqdr {
 
+namespace {
+
+UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacyImpl(
+    const ViewSet& views, const ConjunctiveQuery& q, guard::Budget* budget);
+
+}  // namespace
+
 UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacy(
+    const ViewSet& views, const ConjunctiveQuery& q, guard::Budget* budget,
+    const memo::MemoOptions& memo) {
+#ifndef VQDR_MEMO_DISABLED
+  if (memo::ResolveUse(memo)) {
+    VQDR_TRACE_SPAN("memo.determinacy");
+    // Exact key: the result's instances carry concrete frozen-value ids.
+    // The decision builds its own factory from a fixed floor, so equal
+    // (views, query) serializations replay byte-identically.
+    std::string key = "det|" + views.ToString() + "|" + ExactCqKey(q);
+    memo::Store& store = memo::ResolveStore(memo);
+    if (auto hit = store.Get<UnrestrictedDeterminacyResult>(key)) return *hit;
+    UnrestrictedDeterminacyResult result =
+        DecideUnrestrictedDeterminacyImpl(views, q, budget);
+    // Never cache partial outcomes — they describe this run's budget, not
+    // the inputs.
+    if (guard::IsComplete(result.outcome)) store.Put(key, result);
+    return result;
+  }
+#endif
+  return DecideUnrestrictedDeterminacyImpl(views, q, budget);
+}
+
+namespace {
+
+UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacyImpl(
     const ViewSet& views, const ConjunctiveQuery& q, guard::Budget* budget) {
   VQDR_COUNTER_INC("determinacy.decisions");
   VQDR_TRACE_SPAN("determinacy.unrestricted");
@@ -80,5 +119,7 @@ UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacy(
   }
   return result;
 }
+
+}  // namespace
 
 }  // namespace vqdr

@@ -6,6 +6,7 @@
 #include "cq/conjunctive_query.h"
 #include "data/instance.h"
 #include "guard/budget.h"
+#include "memo/memo.h"
 #include "views/view_set.h"
 
 namespace vqdr {
@@ -48,9 +49,14 @@ struct UnrestrictedDeterminacyResult {
 /// `budget`, when non-null, bounds the chase-back and the decision match;
 /// on a trip the result carries outcome != kComplete and whatever was
 /// already computed (canonical image, partial inverse).
+///
+/// `memo` controls result caching: the full result (verdict, canonical
+/// image, inverse, rewriting) is cached under an exact key — the decision
+/// builds its own value factory, so equal inputs replay byte-identically —
+/// and only kComplete outcomes are ever installed. See DESIGN.md §9.
 UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacy(
     const ViewSet& views, const ConjunctiveQuery& q,
-    guard::Budget* budget = nullptr);
+    guard::Budget* budget = nullptr, const memo::MemoOptions& memo = {});
 
 }  // namespace vqdr
 

@@ -13,14 +13,16 @@
 namespace vqdr {
 
 std::vector<UnrestrictedDeterminacyResult> DecideUnrestrictedDeterminacyBatch(
-    const std::vector<DeterminacyBatchItem>& items, int threads) {
-  return DecideUnrestrictedDeterminacyBatchGoverned(items, threads, nullptr)
+    const std::vector<DeterminacyBatchItem>& items, int threads,
+    const memo::MemoOptions& memo) {
+  return DecideUnrestrictedDeterminacyBatchGoverned(items, threads, nullptr,
+                                                    memo)
       .results;
 }
 
 DeterminacyBatchResult DecideUnrestrictedDeterminacyBatchGoverned(
     const std::vector<DeterminacyBatchItem>& items, int threads,
-    guard::Budget* budget) {
+    guard::Budget* budget, const memo::MemoOptions& memo) {
   VQDR_TRACE_SPAN("determinacy.batch");
   DeterminacyBatchResult batch;
   batch.results.resize(items.size());
@@ -28,13 +30,14 @@ DeterminacyBatchResult DecideUnrestrictedDeterminacyBatchGoverned(
 
   // Decides item i in place; returns false once the budget has stopped (the
   // item is then marked skipped instead of decided).
-  auto decide_one = [&items, &batch, budget](std::size_t i) -> bool {
+  auto decide_one = [&items, &batch, budget, &memo](std::size_t i) -> bool {
     if (budget != nullptr && budget->Stopped()) {
       batch.results[i].outcome = budget->stop_reason();
       return false;
     }
-    batch.results[i] =
-        DecideUnrestrictedDeterminacy(items[i].views, items[i].query, budget);
+    batch.results[i] = DecideUnrestrictedDeterminacy(items[i].views,
+                                                     items[i].query, budget,
+                                                     memo);
     // One step per decided item, so step budgets and cancel-at-step-N
     // faults see batch granularity too.
     guard::Check(budget);

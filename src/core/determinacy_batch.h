@@ -28,7 +28,8 @@ struct DeterminacyBatchItem {
 /// (a partially-decided batch has no sound meaning, so progress callbacks
 /// cannot cancel it mid-flight).
 std::vector<UnrestrictedDeterminacyResult> DecideUnrestrictedDeterminacyBatch(
-    const std::vector<DeterminacyBatchItem>& items, int threads = 0);
+    const std::vector<DeterminacyBatchItem>& items, int threads = 0,
+    const memo::MemoOptions& memo = {});
 
 /// Result of a governed batch run.
 struct DeterminacyBatchResult {
@@ -49,9 +50,12 @@ struct DeterminacyBatchResult {
 /// budget trips, remaining items are skipped (their result records the stop
 /// reason) and the completed prefix of decisions is returned — identical to
 /// what an ungoverned run would have produced for those items.
+/// `memo` is forwarded to every per-item decision: duplicate items hit the
+/// cache (first-install-wins keeps concurrent installs deterministic), and
+/// budget-stopped items are never installed.
 DeterminacyBatchResult DecideUnrestrictedDeterminacyBatchGoverned(
     const std::vector<DeterminacyBatchItem>& items, int threads = 0,
-    guard::Budget* budget = nullptr);
+    guard::Budget* budget = nullptr, const memo::MemoOptions& memo = {});
 
 }  // namespace vqdr
 

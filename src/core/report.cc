@@ -38,6 +38,7 @@ std::string DeterminacyReport::Summary() const {
     out << " [stopped: " << guard::OutcomeName(outcome) << "]";
   }
   if (!metrics.empty()) out << "\n[metrics] " << metrics.ToString();
+  if (memo.any()) out << "\n[memo] " << memo.ToString();
   return out.str();
 }
 
@@ -104,12 +105,14 @@ DeterminacyReport AnalyzeDeterminacy(const ViewSet& views,
   // Attribute all counter/histogram movement during the battery to this
   // report (single-threaded analysis, so the delta is exactly ours).
   obs::MetricsSnapshot before = obs::SnapshotMetrics();
+  memo::StatsSnapshot memo_before = memo::GlobalStats();
   DeterminacyReport report;
   {
     VQDR_TRACE_SPAN("report.analyze");
     report = AnalyzeDeterminacyImpl(views, q, base, opts);
   }
   report.metrics = obs::SnapshotDelta(before);
+  report.memo = memo::GlobalStats().Delta(memo_before);
   return report;
 }
 

@@ -7,6 +7,7 @@
 #include "core/determinacy.h"
 #include "core/finite_search.h"
 #include "cq/conjunctive_query.h"
+#include "memo/memo.h"
 #include "obs/metrics.h"
 #include "views/view_set.h"
 
@@ -72,8 +73,13 @@ struct DeterminacyReport {
   /// metrics delta across the battery): chase.*, cq.hom.*, search.*, ...
   obs::MetricsSnapshot metrics;
 
-  /// One-paragraph human-readable summary, ending with a "[metrics] ..."
-  /// block when the analysis recorded any.
+  /// Memoization activity attributed to this analysis (the process-wide
+  /// store's delta across the battery). All-zero when memoization is
+  /// disabled or compiled out.
+  memo::StatsSnapshot memo;
+
+  /// One-paragraph human-readable summary, ending with "[metrics] ..." /
+  /// "[memo] ..." blocks when the analysis recorded any.
   std::string Summary() const;
 };
 

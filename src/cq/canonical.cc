@@ -7,6 +7,14 @@ namespace vqdr {
 
 FrozenQuery Freeze(const ConjunctiveQuery& q, ValueFactory& factory) {
   VQDR_CHECK(q.IsPureCq()) << "Freeze requires a pure CQ: " << q.ToString();
+  // Advance the factory past every constant of the query before minting
+  // frozen values. Constants() deliberately scans the head and the =/≠ side
+  // conditions as well as the body atoms, so a constant that appears *only*
+  // in the head (legal: languages with access to dom values) can never
+  // collide with a fresh frozen value either. Callers that freeze q against
+  // other objects carrying constants (view definitions, partner queries)
+  // must note those constants themselves — see BuildChaseChain and
+  // SweepCanonicalDbs.
   for (Value c : q.Constants()) factory.NoteUsed(c);
 
   FrozenQuery result;
@@ -43,8 +51,22 @@ FrozenQuery Freeze(const ConjunctiveQuery& q, ValueFactory& factory) {
 ConjunctiveQuery InstanceToQuery(const Instance& instance, const Tuple& head,
                                  const std::set<Value>& constants,
                                  const std::string& head_name) {
+  // Variable naming, and why it cannot collide (the memo fingerprints key on
+  // this query, so collisions would silently conflate distinct values):
+  //  - Distinct non-constant values get distinct names: ids >= 0 map to
+  //    "v<id>" and ids < 0 map to "vn<-(id+1)>", both injective, and the two
+  //    ranges are disjoint because no decimal rendering starts with 'n'.
+  //  - A generated name can never capture a constant: constants are emitted
+  //    as Term::Const and compared by value id, never by name. A constant
+  //    whose *interned parser name* happens to be "v7" is unrelated to the
+  //    generated variable "v7" — names of parser constants live in NamePool,
+  //    not in Term.
+  //  - Collisions with variables of other queries are impossible because the
+  //    result is a standalone query; any later combination goes through
+  //    RenameVariables (e.g. ExpandRewriting renames apart with "@<copy>").
   auto to_term = [&constants](Value v) -> Term {
     if (constants.count(v) > 0) return Term::Const(v);
+    if (v.id < 0) return Term::Var("vn" + std::to_string(-(v.id + 1)));
     return Term::Var("v" + std::to_string(v.id));
   };
 

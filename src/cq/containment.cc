@@ -16,9 +16,30 @@
 #include "par/pool.h"
 #endif
 
+#ifndef VQDR_MEMO_DISABLED
+#include <optional>
+#include <string>
+
+#include "cq/fingerprint.h"
+#include "memo/store.h"
+#endif
+
 namespace vqdr {
 
 namespace {
+
+#ifndef VQDR_MEMO_DISABLED
+// Joins two canonical fingerprints into a containment key; nullopt (either
+// side has no fingerprint) means "bypass the cache". Sound because the
+// contained/not-contained verdict is invariant under isomorphism of either
+// side, which is exactly what the fingerprints quotient by.
+std::optional<std::string> ContainmentKey(const char* tag,
+                                          std::optional<std::string> k1,
+                                          std::optional<std::string> k2) {
+  if (!k1.has_value() || !k2.has_value()) return std::nullopt;
+  return std::string(tag) + "|" + *k1 + "|" + *k2;
+}
+#endif
 
 // Applies a term substitution (variables → terms) to a query.
 ConjunctiveQuery SubstituteTerms(const ConjunctiveQuery& q,
@@ -305,20 +326,39 @@ bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
   VQDR_CHECK_EQ(q1.head_arity(), q2.head_arity())
       << "containment between different arities";
 
-  bool sat1 = true;
-  ConjunctiveQuery n1 = q1.PropagateEqualities(&sat1);
-  if (!sat1) return true;  // empty query contained in anything
-  bool sat2 = true;
-  ConjunctiveQuery n2 = q2.PropagateEqualities(&sat2);
-  if (!sat2) return !CqSatisfiable(n1);
+  auto compute = [&]() -> bool {
+    bool sat1 = true;
+    ConjunctiveQuery n1 = q1.PropagateEqualities(&sat1);
+    if (!sat1) return true;  // empty query contained in anything
+    bool sat2 = true;
+    ConjunctiveQuery n2 = q2.PropagateEqualities(&sat2);
+    if (!sat2) return !CqSatisfiable(n1);
 
-  bool need_patterns = n1.UsesDisequality() || n2.UsesDisequality();
-  return ForEachCanonicalDb(n1, UnionConstants(n1, n2), need_patterns,
-                            ResolveThreads(options),
-                            [&](const PatternInstance& pattern) {
-                              return CqAnswerContains(n2, pattern.instance,
-                                                      pattern.frozen_head);
-                            });
+    bool need_patterns = n1.UsesDisequality() || n2.UsesDisequality();
+    return ForEachCanonicalDb(n1, UnionConstants(n1, n2), need_patterns,
+                              ResolveThreads(options),
+                              [&](const PatternInstance& pattern) {
+                                return CqAnswerContains(n2, pattern.instance,
+                                                        pattern.frozen_head);
+                              });
+  };
+
+#ifndef VQDR_MEMO_DISABLED
+  if (memo::ResolveUse(options.memo)) {
+    VQDR_TRACE_SPAN("memo.containment");
+    std::optional<std::string> key =
+        ContainmentKey("cq.sub", CanonicalCqFingerprint(q1),
+                       CanonicalCqFingerprint(q2));
+    if (key.has_value()) {
+      memo::Store& store = memo::ResolveStore(options.memo);
+      if (auto hit = store.Get<bool>(*key)) return *hit;
+      bool contained = compute();
+      store.Put(*key, contained);
+      return contained;
+    }
+  }
+#endif
+  return compute();
 }
 
 bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
@@ -359,30 +399,58 @@ ContainmentResult CqContainedInGoverned(const ConjunctiveQuery& q1,
       << "containment between different arities";
   guard::Budget* budget = options.budget;
 
-  ContainmentResult result;
-  bool sat1 = true;
-  ConjunctiveQuery n1 = q1.PropagateEqualities(&sat1);
-  if (!sat1) return result;  // empty query contained in anything
-  bool sat2 = true;
-  ConjunctiveQuery n2 = q2.PropagateEqualities(&sat2);
-  if (!sat2) {
-    result.contained = !CqSatisfiable(n1);
-    return result;
-  }
+  auto compute = [&]() -> ContainmentResult {
+    ContainmentResult result;
+    bool sat1 = true;
+    ConjunctiveQuery n1 = q1.PropagateEqualities(&sat1);
+    if (!sat1) return result;  // empty query contained in anything
+    bool sat2 = true;
+    ConjunctiveQuery n2 = q2.PropagateEqualities(&sat2);
+    if (!sat2) {
+      result.contained = !CqSatisfiable(n1);
+      return result;
+    }
 
-  bool need_patterns = n1.UsesDisequality() || n2.UsesDisequality();
-  SweepOutcome sweep = SweepCanonicalDbs(
-      n1, UnionConstants(n1, n2), need_patterns, ResolveThreads(options),
-      budget, [&](const PatternInstance& pattern) {
-        bool pass =
-            CqAnswerContains(n2, pattern.instance, pattern.frozen_head, budget);
-        // A budget stop mid-match makes the answer meaningless; report
-        // "pass" so it cannot masquerade as a witness — the sweep records
-        // the stop separately.
-        if (budget != nullptr && budget->Stopped()) return true;
-        return pass;
-      });
-  return ResolveSweep(sweep, budget);
+    bool need_patterns = n1.UsesDisequality() || n2.UsesDisequality();
+    SweepOutcome sweep = SweepCanonicalDbs(
+        n1, UnionConstants(n1, n2), need_patterns, ResolveThreads(options),
+        budget, [&](const PatternInstance& pattern) {
+          bool pass = CqAnswerContains(n2, pattern.instance,
+                                       pattern.frozen_head, budget);
+          // A budget stop mid-match makes the answer meaningless; report
+          // "pass" so it cannot masquerade as a witness — the sweep records
+          // the stop separately.
+          if (budget != nullptr && budget->Stopped()) return true;
+          return pass;
+        });
+    return ResolveSweep(sweep, budget);
+  };
+
+#ifndef VQDR_MEMO_DISABLED
+  if (memo::ResolveUse(options.memo)) {
+    VQDR_TRACE_SPAN("memo.containment");
+    std::optional<std::string> key =
+        ContainmentKey("cq.sub", CanonicalCqFingerprint(q1),
+                       CanonicalCqFingerprint(q2));
+    if (key.has_value()) {
+      memo::Store& store = memo::ResolveStore(options.memo);
+      if (auto hit = store.Get<bool>(*key)) {
+        ContainmentResult cached;
+        cached.contained = *hit;
+        return cached;  // A cached verdict is complete by construction.
+      }
+      ContainmentResult result = compute();
+      // Cache only definitive verdicts. ResolveSweep reports every witness
+      // with outcome kComplete, so this single check also admits
+      // budget-stopped runs that still found a witness.
+      if (guard::IsComplete(result.outcome)) {
+        store.Put(*key, result.contained);
+      }
+      return result;
+    }
+  }
+#endif
+  return compute();
 }
 
 bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
@@ -396,34 +464,54 @@ bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2,
   VQDR_CHECK(!q1.empty() && !q2.empty()) << "containment with empty UCQ";
   VQDR_CHECK_EQ(q1.head_arity(), q2.head_arity());
 
-  bool q2_uses_diseq = false;
-  std::set<Value> q2_constants;
-  for (const ConjunctiveQuery& d2 : q2.disjuncts()) {
-    VQDR_CHECK(!d2.UsesNegation()) << "containment not supported for ¬";
-    if (d2.UsesDisequality()) q2_uses_diseq = true;
-    for (Value c : d2.Constants()) q2_constants.insert(c);
+  auto compute = [&]() -> bool {
+    bool q2_uses_diseq = false;
+    std::set<Value> q2_constants;
+    for (const ConjunctiveQuery& d2 : q2.disjuncts()) {
+      VQDR_CHECK(!d2.UsesNegation()) << "containment not supported for ¬";
+      if (d2.UsesDisequality()) q2_uses_diseq = true;
+      for (Value c : d2.Constants()) q2_constants.insert(c);
+    }
+
+    for (const ConjunctiveQuery& disjunct : q1.disjuncts()) {
+      VQDR_CHECK(!disjunct.UsesNegation())
+          << "containment not supported for ¬";
+      bool sat = true;
+      ConjunctiveQuery normalized = disjunct.PropagateEqualities(&sat);
+      if (!sat) continue;
+      if (!CqSatisfiable(normalized)) continue;
+
+      std::set<Value> constants = q2_constants;
+      for (Value c : normalized.Constants()) constants.insert(c);
+      bool need_patterns = normalized.UsesDisequality() || q2_uses_diseq;
+
+      bool contained = ForEachCanonicalDb(
+          normalized, constants, need_patterns, ResolveThreads(options),
+          [&](const PatternInstance& pattern) {
+            Relation answer = EvaluateUcq(q2, pattern.instance);
+            return answer.Contains(pattern.frozen_head);
+          });
+      if (!contained) return false;
+    }
+    return true;
+  };
+
+#ifndef VQDR_MEMO_DISABLED
+  if (memo::ResolveUse(options.memo)) {
+    VQDR_TRACE_SPAN("memo.containment.ucq");
+    std::optional<std::string> key =
+        ContainmentKey("ucq.sub", CanonicalUcqFingerprint(q1),
+                       CanonicalUcqFingerprint(q2));
+    if (key.has_value()) {
+      memo::Store& store = memo::ResolveStore(options.memo);
+      if (auto hit = store.Get<bool>(*key)) return *hit;
+      bool contained = compute();
+      store.Put(*key, contained);
+      return contained;
+    }
   }
-
-  for (const ConjunctiveQuery& disjunct : q1.disjuncts()) {
-    VQDR_CHECK(!disjunct.UsesNegation()) << "containment not supported for ¬";
-    bool sat = true;
-    ConjunctiveQuery normalized = disjunct.PropagateEqualities(&sat);
-    if (!sat) continue;
-    if (!CqSatisfiable(normalized)) continue;
-
-    std::set<Value> constants = q2_constants;
-    for (Value c : normalized.Constants()) constants.insert(c);
-    bool need_patterns = normalized.UsesDisequality() || q2_uses_diseq;
-
-    bool contained = ForEachCanonicalDb(
-        normalized, constants, need_patterns, ResolveThreads(options),
-        [&](const PatternInstance& pattern) {
-          Relation answer = EvaluateUcq(q2, pattern.instance);
-          return answer.Contains(pattern.frozen_head);
-        });
-    if (!contained) return false;
-  }
-  return true;
+#endif
+  return compute();
 }
 
 bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2) {
@@ -439,45 +527,71 @@ ContainmentResult UcqContainedInGoverned(const UnionQuery& q1,
   VQDR_CHECK_EQ(q1.head_arity(), q2.head_arity());
   guard::Budget* budget = options.budget;
 
-  bool q2_uses_diseq = false;
-  std::set<Value> q2_constants;
-  for (const ConjunctiveQuery& d2 : q2.disjuncts()) {
-    VQDR_CHECK(!d2.UsesNegation()) << "containment not supported for ¬";
-    if (d2.UsesDisequality()) q2_uses_diseq = true;
-    for (Value c : d2.Constants()) q2_constants.insert(c);
-  }
+  auto compute = [&]() -> ContainmentResult {
+    bool q2_uses_diseq = false;
+    std::set<Value> q2_constants;
+    for (const ConjunctiveQuery& d2 : q2.disjuncts()) {
+      VQDR_CHECK(!d2.UsesNegation()) << "containment not supported for ¬";
+      if (d2.UsesDisequality()) q2_uses_diseq = true;
+      for (Value c : d2.Constants()) q2_constants.insert(c);
+    }
 
-  ContainmentResult result;
-  for (const ConjunctiveQuery& disjunct : q1.disjuncts()) {
-    VQDR_CHECK(!disjunct.UsesNegation()) << "containment not supported for ¬";
-    bool sat = true;
-    ConjunctiveQuery normalized = disjunct.PropagateEqualities(&sat);
-    if (!sat) continue;
-    if (!CqSatisfiable(normalized)) continue;
+    ContainmentResult result;
+    for (const ConjunctiveQuery& disjunct : q1.disjuncts()) {
+      VQDR_CHECK(!disjunct.UsesNegation())
+          << "containment not supported for ¬";
+      bool sat = true;
+      ConjunctiveQuery normalized = disjunct.PropagateEqualities(&sat);
+      if (!sat) continue;
+      if (!CqSatisfiable(normalized)) continue;
 
-    std::set<Value> constants = q2_constants;
-    for (Value c : normalized.Constants()) constants.insert(c);
-    bool need_patterns = normalized.UsesDisequality() || q2_uses_diseq;
+      std::set<Value> constants = q2_constants;
+      for (Value c : normalized.Constants()) constants.insert(c);
+      bool need_patterns = normalized.UsesDisequality() || q2_uses_diseq;
 
-    SweepOutcome sweep = SweepCanonicalDbs(
-        normalized, constants, need_patterns, ResolveThreads(options), budget,
-        [&](const PatternInstance& pattern) {
-          Relation answer = EvaluateUcq(q2, pattern.instance);
-          if (budget != nullptr && budget->Stopped()) return true;
-          return answer.Contains(pattern.frozen_head);
-        });
-    ContainmentResult disjunct_result = ResolveSweep(sweep, budget);
-    result.patterns_checked += disjunct_result.patterns_checked;
-    if (!disjunct_result.contained) {
-      result.contained = false;
-      result.outcome = guard::Outcome::kComplete;
+      SweepOutcome sweep = SweepCanonicalDbs(
+          normalized, constants, need_patterns, ResolveThreads(options),
+          budget, [&](const PatternInstance& pattern) {
+            Relation answer = EvaluateUcq(q2, pattern.instance);
+            if (budget != nullptr && budget->Stopped()) return true;
+            return answer.Contains(pattern.frozen_head);
+          });
+      ContainmentResult disjunct_result = ResolveSweep(sweep, budget);
+      result.patterns_checked += disjunct_result.patterns_checked;
+      if (!disjunct_result.contained) {
+        result.contained = false;
+        result.outcome = guard::Outcome::kComplete;
+        return result;
+      }
+      result.outcome =
+          guard::MergeOutcome(result.outcome, disjunct_result.outcome);
+      if (!guard::IsComplete(result.outcome)) return result;
+    }
+    return result;
+  };
+
+#ifndef VQDR_MEMO_DISABLED
+  if (memo::ResolveUse(options.memo)) {
+    VQDR_TRACE_SPAN("memo.containment.ucq");
+    std::optional<std::string> key =
+        ContainmentKey("ucq.sub", CanonicalUcqFingerprint(q1),
+                       CanonicalUcqFingerprint(q2));
+    if (key.has_value()) {
+      memo::Store& store = memo::ResolveStore(options.memo);
+      if (auto hit = store.Get<bool>(*key)) {
+        ContainmentResult cached;
+        cached.contained = *hit;
+        return cached;
+      }
+      ContainmentResult result = compute();
+      if (guard::IsComplete(result.outcome)) {
+        store.Put(*key, result.contained);
+      }
       return result;
     }
-    result.outcome =
-        guard::MergeOutcome(result.outcome, disjunct_result.outcome);
-    if (!guard::IsComplete(result.outcome)) return result;
   }
-  return result;
+#endif
+  return compute();
 }
 
 bool UcqEquivalent(const UnionQuery& q1, const UnionQuery& q2) {

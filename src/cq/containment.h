@@ -6,6 +6,7 @@
 #include "cq/conjunctive_query.h"
 #include "cq/ucq.h"
 #include "guard/budget.h"
+#include "memo/memo.h"
 
 namespace vqdr {
 
@@ -24,6 +25,14 @@ struct CqContainmentOptions {
   /// poll per matcher backtracking node inside each pattern check. Only the
   /// *Governed entry points honour it; the bool APIs require completion.
   guard::Budget* budget = nullptr;
+
+  /// Result memoization policy. Containment verdicts are booleans —
+  /// invariant under query isomorphism — so they are cached under the
+  /// canonical fingerprints of both sides; queries without a fingerprint
+  /// (negation, canonicalization over budget) bypass the cache, and
+  /// governed sweeps install only kComplete verdicts (witnesses of
+  /// non-containment count: they are definitive). See DESIGN.md §9.
+  memo::MemoOptions memo;
 };
 
 /// Result of a governed containment test.

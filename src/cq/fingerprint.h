@@ -1,0 +1,56 @@
+#ifndef VQDR_CQ_FINGERPRINT_H_
+#define VQDR_CQ_FINGERPRINT_H_
+
+#include <optional>
+#include <string>
+
+#include "cq/conjunctive_query.h"
+#include "cq/ucq.h"
+#include "data/instance.h"
+
+namespace vqdr {
+
+/// Canonical fingerprint of a CQ(=,≠): a string equal for two queries iff
+/// they are syntactically isomorphic after normalization (equalities
+/// propagated, exact duplicate atoms/disequalities collapsed, variables
+/// renamed canonically, atoms sorted). Isomorphic queries are equivalent, so
+/// the fingerprint is a sound memo key for any isomorphism-invariant verdict
+/// (containment booleans in particular — see DESIGN.md §9). It is NOT sound
+/// for artifact-valued results whose concrete variable names matter; those
+/// use ExactCqKey.
+///
+/// The canonical renaming is computed by Weisfeiler–Leman color refinement
+/// plus an individualization-refinement search; the leaf serialization is
+/// exact (actual atoms under the candidate renaming), so hash collisions in
+/// the refinement can only coarsen the search, never conflate
+/// non-isomorphic queries.
+///
+/// Returns nullopt — "no fingerprint, bypass the cache" — for queries with
+/// negation and for queries whose canonical search exceeds its internal
+/// variable/leaf/node budgets. Unsatisfiable queries collapse to a
+/// per-arity UNSAT token (they all have the empty result).
+std::optional<std::string> CanonicalCqFingerprint(const ConjunctiveQuery& q);
+
+/// Core-then-canonical fingerprint: minimizes the query to its core first,
+/// so equivalent (not merely isomorphic) pure CQs share a fingerprint
+/// (cores are unique up to isomorphism, Chandra–Merlin). Requires a pure CQ;
+/// non-pure queries fall back to nullopt.
+std::optional<std::string> CoreCqFingerprint(const ConjunctiveQuery& q);
+
+/// Canonical fingerprint of a UCQ: the sorted, deduplicated canonical
+/// fingerprints of its satisfiable disjuncts (all-unsatisfiable unions
+/// collapse to a per-arity token). nullopt if any disjunct has none.
+std::optional<std::string> CanonicalUcqFingerprint(const UnionQuery& q);
+
+/// Exact (syntax-preserving) memo keys: byte-for-byte serializations, for
+/// caching artifact-valued results that must replay identically.
+std::string ExactCqKey(const ConjunctiveQuery& q);
+std::string ExactUcqKey(const UnionQuery& q);
+
+/// Exact content digest of an instance: schema declarations plus the sorted
+/// tuple serialization from Instance::ToKey.
+std::string InstanceMemoKey(const Instance& instance);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CQ_FINGERPRINT_H_

@@ -3,10 +3,25 @@
 #include "base/check.h"
 #include "cq/containment.h"
 
+#ifndef VQDR_MEMO_DISABLED
+#include <string>
+
+#include "cq/fingerprint.h"
+#include "memo/store.h"
+#endif
+
 namespace vqdr {
 
-ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& q) {
-  VQDR_CHECK(q.IsPureCq()) << "MinimizeCq requires a pure CQ";
+namespace {
+
+// Greedy atom removal. Order-independent up to isomorphism: every
+// equivalence-preserving removal sequence terminates in a core of q, and
+// cores are unique up to isomorphism (Chandra–Merlin). The IsSafe skip
+// cannot change that — an unsafe candidate drops a head variable's last
+// positive occurrence and is never equivalent to q, so no removal sequence
+// could take it anyway. canonical_seam_test.cc checks this property on
+// random shuffled queries.
+ConjunctiveQuery MinimizeCqImpl(const ConjunctiveQuery& q) {
   ConjunctiveQuery current = q;
   bool changed = true;
   while (changed) {
@@ -29,8 +44,31 @@ ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& q) {
   return current;
 }
 
-UnionQuery MinimizeUcq(const UnionQuery& q) {
-  VQDR_CHECK(q.IsPureUcq()) << "MinimizeUcq requires a pure UCQ";
+}  // namespace
+
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& q) {
+  VQDR_CHECK(q.IsPureCq()) << "MinimizeCq requires a pure CQ";
+#ifndef VQDR_MEMO_DISABLED
+  if (memo::Enabled()) {
+    // Exact key, not the canonical fingerprint: the minimized query keeps
+    // q's concrete variable names and atom order, so isomorphic-but-distinct
+    // inputs must not share an entry (byte-identical replay). Isomorphic
+    // inputs still share work through the memoized containment calls inside
+    // the greedy loop.
+    std::string key = "cq.min|" + ExactCqKey(q);
+    memo::Store& store = memo::GlobalStore();
+    if (auto hit = store.Get<ConjunctiveQuery>(key)) return *hit;
+    ConjunctiveQuery core = MinimizeCqImpl(q);
+    store.Put(key, core);
+    return core;
+  }
+#endif
+  return MinimizeCqImpl(q);
+}
+
+namespace {
+
+UnionQuery MinimizeUcqImpl(const UnionQuery& q) {
   // Drop disjuncts subsumed by another disjunct, keeping earlier ones.
   std::vector<ConjunctiveQuery> kept;
   for (std::size_t i = 0; i < q.disjuncts().size(); ++i) {
@@ -54,6 +92,23 @@ UnionQuery MinimizeUcq(const UnionQuery& q) {
   for (ConjunctiveQuery& d : kept) result.AddDisjunct(std::move(d));
   VQDR_CHECK(!result.empty());
   return result;
+}
+
+}  // namespace
+
+UnionQuery MinimizeUcq(const UnionQuery& q) {
+  VQDR_CHECK(q.IsPureUcq()) << "MinimizeUcq requires a pure UCQ";
+#ifndef VQDR_MEMO_DISABLED
+  if (memo::Enabled()) {
+    std::string key = "ucq.min|" + ExactUcqKey(q);
+    memo::Store& store = memo::GlobalStore();
+    if (auto hit = store.Get<UnionQuery>(key)) return *hit;
+    UnionQuery minimized = MinimizeUcqImpl(q);
+    store.Put(key, minimized);
+    return minimized;
+  }
+#endif
+  return MinimizeUcqImpl(q);
 }
 
 }  // namespace vqdr

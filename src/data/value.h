@@ -47,6 +47,12 @@ class ValueFactory {
     if (v.id >= next_) next_ = v.id + 1;
   }
 
+  /// The id the next Fresh() call would return. Part of the memo keys for
+  /// chase results: a cached chain is only replayable when the factory is in
+  /// the same state, and a hit advances the factory to the recorded end
+  /// state (memo layer, DESIGN.md §9).
+  std::int64_t next_id() const { return next_; }
+
  private:
   std::int64_t next_;
 };

@@ -1,0 +1,124 @@
+#ifndef VQDR_MEMO_MEMO_H_
+#define VQDR_MEMO_MEMO_H_
+
+/// vqdr::memo — result caching for the containment / chase / determinacy
+/// engines (DESIGN.md §9).
+///
+/// This header is always safe to include. When the subsystem is compiled out
+/// (-DVQDR_MEMO=OFF defines VQDR_MEMO_DISABLED, mirroring obs/par/guard) the
+/// API collapses to inline no-ops: Enabled() is false, ResolveUse() is false,
+/// GlobalStats() is empty, and callers never touch a Store.
+///
+/// Memoization is opt-in at runtime even when compiled in: the process-wide
+/// switch starts from the VQDR_MEMO environment variable (off unless set to a
+/// truthy value) and individual calls can force it on or off through
+/// MemoOptions. This keeps cold-path behaviour — including obs counters that
+/// tests pin exactly — untouched by default.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace vqdr::memo {
+
+/// Per-call memoization policy. kDefault defers to the process-wide switch.
+enum class Use {
+  kDefault,
+  kOn,
+  kOff,
+};
+
+class Store;
+
+/// Optional knobs threaded through engine option structs. `store == nullptr`
+/// means the process-wide GlobalStore().
+struct MemoOptions {
+  Use use = Use::kDefault;
+  Store* store = nullptr;
+};
+
+/// Monotone cache activity counters plus a point-in-time size/capacity pair.
+struct StatsSnapshot {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t installs = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t capacity = 0;
+
+  bool any() const { return hits + misses + installs + evictions > 0; }
+
+  /// Activity since `before`: monotone fields subtract, entries/capacity keep
+  /// the current (end-of-window) values. Inline so the disabled build links
+  /// without the memo library.
+  StatsSnapshot Delta(const StatsSnapshot& before) const {
+    StatsSnapshot d;
+    d.hits = hits - before.hits;
+    d.misses = misses - before.misses;
+    d.installs = installs - before.installs;
+    d.evictions = evictions - before.evictions;
+    d.entries = entries;
+    d.capacity = capacity;
+    return d;
+  }
+
+  /// "hits=3 misses=1 installs=1 evictions=0 entries=12/4096".
+  std::string ToString() const {
+    std::ostringstream out;
+    out << "hits=" << hits << " misses=" << misses << " installs=" << installs
+        << " evictions=" << evictions << " entries=" << entries << "/"
+        << capacity;
+    return out.str();
+  }
+};
+
+#ifndef VQDR_MEMO_DISABLED
+
+/// Process-wide switch; initialized from the VQDR_MEMO environment variable.
+bool Enabled();
+void SetEnabled(bool on);
+
+/// True when this call should consult the cache.
+bool ResolveUse(const MemoOptions& options);
+
+/// The process-wide store; capacity from VQDR_MEMO_CAPACITY (entries, default
+/// 8192; invalid or 0 falls back to the default).
+Store& GlobalStore();
+
+/// Picks the store a call should use.
+Store& ResolveStore(const MemoOptions& options);
+
+/// Stats of the process-wide store.
+StatsSnapshot GlobalStats();
+
+/// RAII toggle for tests and benchmarks.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on) : previous_(Enabled()) { SetEnabled(on); }
+  ~ScopedEnable() { SetEnabled(previous_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+#else  // VQDR_MEMO_DISABLED
+
+inline bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+inline bool ResolveUse(const MemoOptions&) { return false; }
+inline StatsSnapshot GlobalStats() { return {}; }
+
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool) {}
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+};
+
+#endif  // VQDR_MEMO_DISABLED
+
+}  // namespace vqdr::memo
+
+#endif  // VQDR_MEMO_MEMO_H_

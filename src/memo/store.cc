@@ -1,0 +1,156 @@
+#include "memo/store.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+
+#include "base/check.h"
+#include "obs/metrics.h"
+#include "obs/obs_macros.h"
+
+namespace vqdr::memo {
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 8192;
+
+std::size_t CapacityFromEnv() {
+  const char* raw = std::getenv("VQDR_MEMO_CAPACITY");
+  if (raw == nullptr || *raw == '\0') return kDefaultCapacity;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed == 0) return kDefaultCapacity;
+  return static_cast<std::size_t>(parsed);
+}
+
+bool EnabledFromEnv() {
+  const char* raw = std::getenv("VQDR_MEMO");
+  if (raw == nullptr) return false;
+  std::string v(raw);
+  return !v.empty() && v != "0" && v != "off" && v != "OFF" && v != "false" &&
+         v != "FALSE";
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{EnabledFromEnv()};
+  return flag;
+}
+
+}  // namespace
+
+Store::Store(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      shard_count_(shards == 0 ? 1 : shards) {
+  if (shard_count_ > capacity_) shard_count_ = capacity_;
+  per_shard_capacity_ = capacity_ / shard_count_;
+  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+}
+
+Store::Shard& Store::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shard_count_];
+}
+
+std::shared_ptr<const void> Store::GetErased(const std::string& key,
+                                             const std::type_info& type) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || *it->second.type != type) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    VQDR_COUNTER_INC("memo.misses");
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  VQDR_COUNTER_INC("memo.hits");
+  return it->second.value;
+}
+
+void Store::PutErased(const std::string& key,
+                      std::shared_ptr<const void> value,
+                      const std::type_info& type) {
+  VQDR_CHECK(value != nullptr) << "memo::Store::Put: null value";
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.find(key) != shard.map.end()) {
+    // First install wins; the keying discipline guarantees any concurrent
+    // computation of the same key produced an equivalent value.
+    return;
+  }
+  while (shard.map.size() >= per_shard_capacity_) {
+    const std::string& victim = shard.lru.back();
+    shard.map.erase(victim);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    VQDR_COUNTER_INC("memo.evictions");
+  }
+  shard.lru.push_front(key);
+  Entry entry;
+  entry.value = std::move(value);
+  entry.type = &type;
+  entry.lru_it = shard.lru.begin();
+  shard.map.emplace(key, std::move(entry));
+  installs_.fetch_add(1, std::memory_order_relaxed);
+  VQDR_COUNTER_INC("memo.installs");
+}
+
+StatsSnapshot Store::Stats() const {
+  StatsSnapshot s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.installs = installs_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void Store::Clear() {
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].map.clear();
+    shards_[i].lru.clear();
+  }
+}
+
+std::size_t Store::size() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].map.size();
+  }
+  return total;
+}
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) {
+  EnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+bool ResolveUse(const MemoOptions& options) {
+  switch (options.use) {
+    case Use::kOn:
+      return true;
+    case Use::kOff:
+      return false;
+    case Use::kDefault:
+      return Enabled();
+  }
+  return false;
+}
+
+Store& GlobalStore() {
+  static Store* store = new Store(CapacityFromEnv());
+  return *store;
+}
+
+Store& ResolveStore(const MemoOptions& options) {
+  return options.store != nullptr ? *options.store : GlobalStore();
+}
+
+StatsSnapshot GlobalStats() { return GlobalStore().Stats(); }
+
+}  // namespace vqdr::memo

@@ -1,0 +1,99 @@
+#ifndef VQDR_MEMO_STORE_H_
+#define VQDR_MEMO_STORE_H_
+
+#ifdef VQDR_MEMO_DISABLED
+#error "memo/store.h must not be included when VQDR_MEMO is OFF; \
+include memo/memo.h and guard call sites with #ifndef VQDR_MEMO_DISABLED."
+#endif
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeinfo>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "memo/memo.h"
+
+namespace vqdr::memo {
+
+/// Sharded, thread-safe, size-bounded (per-shard LRU) map from string keys to
+/// immutable type-erased values.
+///
+/// Design notes:
+///  - Values are stored as shared_ptr<const void> plus their type_info, so one
+///    store serves heterogeneous result types; Get<T> with the wrong T is a
+///    miss, never a reinterpretation.
+///  - Entries are immutable once installed and handed out by shared_ptr, so a
+///    hit stays valid even if the entry is evicted concurrently.
+///  - Put is first-install-wins: concurrent computations of the same key are
+///    deterministic (all callers computed the same value from the same key),
+///    so whichever install lands first is kept and the rest are dropped.
+///  - Capacity is split evenly across shards (min 1 per shard); eviction is
+///    least-recently-used within a shard.
+class Store {
+ public:
+  static constexpr std::size_t kDefaultShards = 8;
+
+  explicit Store(std::size_t capacity, std::size_t shards = kDefaultShards);
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// Returns the cached value for `key` if present with type T, else nullptr.
+  /// A present-but-differently-typed entry counts as a miss.
+  template <typename T>
+  std::shared_ptr<const T> Get(const std::string& key) {
+    std::shared_ptr<const void> erased = GetErased(key, typeid(T));
+    return std::static_pointer_cast<const T>(erased);
+  }
+
+  /// Installs `value` under `key` unless the key is already present.
+  template <typename T>
+  void Put(const std::string& key, T value) {
+    PutErased(key, std::make_shared<const T>(std::move(value)), typeid(T));
+  }
+
+  StatsSnapshot Stats() const;
+  void Clear();
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    const std::type_info* type = nullptr;
+    std::list<std::string>::iterator lru_it;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> map;
+    // Front = most recently used; holds the same keys as `map`.
+    std::list<std::string> lru;
+  };
+
+  std::shared_ptr<const void> GetErased(const std::string& key,
+                                        const std::type_info& type);
+  void PutErased(const std::string& key, std::shared_ptr<const void> value,
+                 const std::type_info& type);
+  Shard& ShardFor(const std::string& key);
+
+  std::size_t capacity_;
+  std::size_t per_shard_capacity_;
+  std::size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
+
+  // Global monotone counters, relaxed: Stats() is a diagnostic snapshot.
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> installs_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace vqdr::memo
+
+#endif  // VQDR_MEMO_STORE_H_
