@@ -1,0 +1,154 @@
+# Compares two BENCH_<name>.json files (bench/bench_json.h format) and fails
+# when any benchmark slowed down beyond a relative tolerance — the diff step
+# behind the CI bench-baseline artifacts.
+#
+# Usage:
+#   cmake -DBASELINE=old/BENCH_chase.json -DCURRENT=new/BENCH_chase.json \
+#         [-DTOLERANCE=0.30] [-DREPORT_ONLY=ON] -P cmake/bench_compare.cmake
+#
+# Benchmarks are matched by name on real_time (already unit-adjusted by the
+# emitter; both files must use the same units, which VQDR_BENCH_MAIN
+# guarantees per bench). Names present on only one side are reported and
+# skipped — adding or retiring a benchmark is not a regression. TOLERANCE is
+# the allowed relative slowdown (default 0.30 = +30%, generous because CI
+# machines are noisy). REPORT_ONLY=ON turns the regression verdict into a
+# warning for trend-watching jobs that only archive the numbers.
+
+cmake_minimum_required(VERSION 3.19)  # string(JSON)
+
+if(NOT DEFINED BASELINE OR NOT DEFINED CURRENT)
+  message(FATAL_ERROR "bench_compare: pass -DBASELINE=... and -DCURRENT=...")
+endif()
+if(NOT DEFINED TOLERANCE)
+  set(TOLERANCE 0.30)
+endif()
+
+# math(EXPR) is integer-only, so times (doubles printed with %.9g, possibly
+# in exponent notation) are compared as integers scaled by 1000. Returns
+# trunc(value * 1000), or -1 when the string is unparsable or the scaled
+# value would overflow the 64-bit cross-products below.
+function(bc_millis value out_var)
+  set(mantissa "${value}")
+  set(exponent 0)
+  if(value MATCHES "^([0-9.]+)[eE]([+-]?)0*([0-9]+)$")
+    set(mantissa "${CMAKE_MATCH_1}")
+    set(sign "${CMAKE_MATCH_2}")
+    if(sign STREQUAL "+")
+      set(sign "")
+    endif()
+    set(exponent "${sign}${CMAKE_MATCH_3}")
+  endif()
+  if(NOT mantissa MATCHES "^([0-9]+)(\\.([0-9]+))?$")
+    set(${out_var} -1 PARENT_SCOPE)
+    return()
+  endif()
+  set(digits "${CMAKE_MATCH_1}${CMAKE_MATCH_3}")
+  string(LENGTH "${CMAKE_MATCH_3}" frac_len)
+  # value * 1000 = digits * 10^(exponent + 3 - frac_len)
+  math(EXPR shift "${exponent} + 3 - ${frac_len}")
+  if(shift GREATER 0)
+    string(REPEAT "0" ${shift} zeros)
+    set(digits "${digits}${zeros}")
+  elseif(shift LESS 0)
+    string(LENGTH "${digits}" len)
+    math(EXPR keep "${len} + ${shift}")
+    if(keep LESS_EQUAL 0)
+      set(${out_var} 0 PARENT_SCOPE)
+      return()
+    endif()
+    string(SUBSTRING "${digits}" 0 ${keep} digits)
+  endif()
+  # Strip leading zeros by hand: REGEX REPLACE with a ^ anchor re-matches at
+  # every scan position (pre-CMP0186 behaviour) and would mangle "0300".
+  while(digits MATCHES "^0[0-9]")
+    string(SUBSTRING "${digits}" 1 -1 digits)
+  endwhile()
+  string(LENGTH "${digits}" len)
+  if(len GREATER 15)
+    set(${out_var} -1 PARENT_SCOPE)
+    return()
+  endif()
+  set(${out_var} "${digits}" PARENT_SCOPE)
+endfunction()
+
+bc_millis("${TOLERANCE}" tol_millis)
+if(tol_millis LESS 0)
+  message(FATAL_ERROR "bench_compare: unparsable TOLERANCE '${TOLERANCE}'")
+endif()
+
+file(READ "${BASELINE}" baseline_content)
+file(READ "${CURRENT}" current_content)
+
+string(JSON baseline_bench GET "${baseline_content}" bench)
+string(JSON current_bench GET "${current_content}" bench)
+if(NOT baseline_bench STREQUAL current_bench)
+  message(FATAL_ERROR
+    "bench_compare: comparing different benches "
+    "('${baseline_bench}' vs '${current_bench}')")
+endif()
+
+# Index the baseline records by benchmark name.
+string(JSON n_baseline LENGTH "${baseline_content}" benchmarks)
+set(baseline_names "")
+if(n_baseline GREATER 0)
+  math(EXPR last "${n_baseline} - 1")
+  foreach(i RANGE ${last})
+    string(JSON name GET "${baseline_content}" benchmarks ${i} name)
+    string(JSON rt GET "${baseline_content}" benchmarks ${i} real_time)
+    string(MAKE_C_IDENTIFIER "${name}" key)
+    set(baseline_rt_${key} "${rt}")
+    list(APPEND baseline_names "${name}")
+  endforeach()
+endif()
+
+set(regressions 0)
+set(compared 0)
+string(JSON n_current LENGTH "${current_content}" benchmarks)
+if(n_current GREATER 0)
+  math(EXPR last "${n_current} - 1")
+  foreach(i RANGE ${last})
+    string(JSON name GET "${current_content}" benchmarks ${i} name)
+    string(JSON current_rt GET "${current_content}" benchmarks ${i} real_time)
+    string(MAKE_C_IDENTIFIER "${name}" key)
+    if(NOT DEFINED baseline_rt_${key})
+      message(STATUS "bench_compare: ${name}: new benchmark, skipped")
+      continue()
+    endif()
+    set(baseline_rt "${baseline_rt_${key}}")
+    list(REMOVE_ITEM baseline_names "${name}")
+
+    bc_millis("${current_rt}" current_millis)
+    bc_millis("${baseline_rt}" baseline_millis)
+    if(current_millis LESS 0 OR baseline_millis LESS_EQUAL 0)
+      message(STATUS "bench_compare: ${name}: unusable time, skipped")
+      continue()
+    endif()
+    math(EXPR compared "${compared} + 1")
+
+    # Regression iff current/baseline > 1 + TOLERANCE, cross-multiplied so
+    # everything stays in integers:
+    #   current * 1000 > baseline * (1000 + tol_millis)
+    math(EXPR lhs "${current_millis} * 1000")
+    math(EXPR rhs "${baseline_millis} * (1000 + ${tol_millis})")
+    if(lhs GREATER rhs)
+      math(EXPR pct "(100 * ${current_millis}) / ${baseline_millis} - 100")
+      math(EXPR tol_pct "${tol_millis} / 10")
+      message(WARNING
+        "bench_compare: ${name}: ${baseline_rt} -> ${current_rt} "
+        "(+${pct}%, tolerance +${tol_pct}%)")
+      math(EXPR regressions "${regressions} + 1")
+    else()
+      message(STATUS "bench_compare: ${name}: ${baseline_rt} -> ${current_rt} ok")
+    endif()
+  endforeach()
+endif()
+
+foreach(name IN LISTS baseline_names)
+  message(STATUS "bench_compare: ${name}: missing from current run")
+endforeach()
+
+message(STATUS
+  "bench_compare: ${compared} benchmarks compared, ${regressions} regressions")
+if(regressions GREATER 0 AND NOT REPORT_ONLY)
+  message(FATAL_ERROR "bench_compare: performance regression detected")
+endif()

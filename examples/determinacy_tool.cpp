@@ -10,8 +10,17 @@
 //   query  Q(x) :- R(x, y), P(y)
 //   bound  2            # optional search domain size (default 2)
 //
-// Usage:  ./build/examples/determinacy_tool [scenario-file]
-//         (no argument: reads stdin)
+// Usage:  ./build/examples/determinacy_tool [flags] [scenario-file]
+//         (no scenario file: reads stdin)
+//
+// Flags (all optional; see DESIGN.md §10):
+//   --explain=PATH   write the decision-provenance log as JSON to PATH
+//                    ('-' = stdout): chase levels, the witness homomorphism
+//                    or refuting instance behind the verdict, memo probes.
+//   --profile        record trace spans during the battery and print the
+//                    aggregated span-tree profile afterwards.
+//   --metrics        print the battery's counters/histograms in Prometheus
+//                    text exposition format afterwards.
 
 #include <fstream>
 #include <iostream>
@@ -20,6 +29,9 @@
 #include "base/string_util.h"
 #include "core/report.h"
 #include "cq/parser.h"
+#include "obs/export.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 using namespace vqdr;
 
@@ -33,11 +45,36 @@ int Fail(const std::string& message) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string explain_path;
+  bool want_explain = false;
+  bool want_profile = false;
+  bool want_metrics = false;
+  std::string scenario_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--profile") {
+      want_profile = true;
+    } else if (arg == "--metrics") {
+      want_metrics = true;
+    } else if (arg == "--explain" || StartsWith(arg, "--explain=")) {
+      want_explain = true;
+      explain_path = arg == "--explain" ? "-" : std::string(arg.substr(10));
+    } else if (StartsWith(arg, "--")) {
+      return Fail("unknown flag " + std::string(arg) +
+                  " (known: --explain[=PATH], --profile, --metrics)");
+    } else if (scenario_path.empty()) {
+      scenario_path = std::string(arg);
+    } else {
+      return Fail("at most one scenario file");
+    }
+  }
+
   std::istream* in = &std::cin;
   std::ifstream file;
-  if (argc > 1) {
-    file.open(argv[1]);
-    if (!file) return Fail(std::string("cannot open ") + argv[1]);
+  if (!scenario_path.empty()) {
+    file.open(scenario_path);
+    if (!file) return Fail("cannot open " + scenario_path);
     in = &file;
   }
 
@@ -97,8 +134,15 @@ int main(int argc, char** argv) {
             << views.ToString() << "query: " << CqToString(*query, pool)
             << "\n\n";
 
+  if (want_profile) {
+    obs::DrainTraceEvents();  // start the profile window clean
+    obs::EnableTracing();
+  }
+  obs::MetricsSnapshot metrics_before = obs::SnapshotMetrics();
+
   DeterminacyAnalysisOptions opts;
   opts.search.domain_size = bound;
+  opts.explain = want_explain;
   DeterminacyReport report = AnalyzeDeterminacy(views, *query, base, opts);
   std::cout << report.Summary() << "\n";
 
@@ -118,6 +162,30 @@ int main(int argc, char** argv) {
               << InstanceToString(report.monotonicity_violation->d1, pool)
               << "D2:\n"
               << InstanceToString(report.monotonicity_violation->d2, pool);
+  }
+
+  if (want_explain) {
+    std::string json = report.explain.ToJson();
+    if (explain_path == "-" || explain_path.empty()) {
+      std::cout << "\n" << json << "\n";
+    } else {
+      std::ofstream out(explain_path, std::ios::trunc);
+      if (!out) return Fail("cannot open " + explain_path);
+      out << json << "\n";
+      std::cout << "\nexplain log (" << report.explain.size()
+                << " events) written to " << explain_path << "\n";
+    }
+  }
+
+  if (want_profile) {
+    obs::Profile profile = obs::BuildProfile(obs::DrainTraceEvents());
+    std::cout << "\n[profile]\n" << obs::RenderProfileText(profile);
+  }
+
+  if (want_metrics) {
+    std::cout << "\n[prometheus]\n"
+              << obs::ExportPrometheusText(
+                     obs::SnapshotDelta(metrics_before));
   }
   return 0;
 }

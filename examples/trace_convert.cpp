@@ -1,0 +1,32 @@
+// Converts a VQDR JSONL trace (the VQDR_TRACE sink format) into the Chrome
+// trace_event JSON format, loadable in Perfetto (https://ui.perfetto.dev)
+// or chrome://tracing.
+//
+// Usage:  VQDR_TRACE=/tmp/run.jsonl ./determinacy_tool scenario.txt
+//         ./trace_convert /tmp/run.jsonl > run.trace.json
+//         (no argument: reads the JSONL stream from stdin)
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/export.h"
+
+int main(int argc, char** argv) {
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::cerr << "error: cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    in = &file;
+  }
+  std::string error;
+  if (!vqdr::obs::ConvertTraceJsonlToChrome(*in, std::cout, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "base/check.h"
 #include "chase/view_inverse.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -31,6 +32,37 @@ ChaseChain BuildChaseChainImpl(const ViewSet& views, const ConjunctiveQuery& q,
                                const ChaseChainOptions& options,
                                ValueFactory& factory);
 
+// One kChaseLevel event per completed level: the four instance sizes of the
+// recurrence plus how many fresh nulls the level minted from the factory.
+void RecordChaseLevel(obs::ExplainLog* log, int level, const ChaseChain& chain,
+                      std::int64_t fresh_nulls) {
+  if (!obs::Wants(log)) return;
+  obs::ExplainEvent e;
+  e.kind = obs::ExplainKind::kChaseLevel;
+  e.label = "chase.level";
+  e.stats["level"] = level;
+  e.stats["d_facts"] =
+      static_cast<std::int64_t>(chain.d[level].TupleCount());
+  e.stats["s_facts"] =
+      static_cast<std::int64_t>(chain.s[level].TupleCount());
+  e.stats["s_prime_facts"] =
+      static_cast<std::int64_t>(chain.s_prime[level].TupleCount());
+  e.stats["d_prime_facts"] =
+      static_cast<std::int64_t>(chain.d_prime[level].TupleCount());
+  e.stats["fresh_nulls"] = fresh_nulls;
+  log->Append(std::move(e));
+}
+
+void RecordChaseMemoProbe(obs::ExplainLog* log, bool hit) {
+  if (!obs::Wants(log)) return;
+  obs::ExplainEvent e;
+  e.kind = obs::ExplainKind::kMemo;
+  e.label = "chase.chain";
+  e.detail = hit ? "hit" : "miss";
+  e.stats["hit"] = hit ? 1 : 0;
+  log->Append(std::move(e));
+}
+
 }  // namespace
 
 ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
@@ -55,9 +87,11 @@ ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
                       std::to_string(factory.next_id());
     memo::Store& store = memo::ResolveStore(options.memo);
     if (auto hit = store.Get<CachedChaseChain>(key)) {
+      RecordChaseMemoProbe(options.explain, /*hit=*/true);
       factory.NoteUsed(Value(hit->end_next_id - 1));
       return hit->chain;
     }
+    RecordChaseMemoProbe(options.explain, /*hit=*/false);
     ChaseChain chain = BuildChaseChainImpl(views, q, options, factory);
     // Never cache partial results: a truncated or errored chain reflects the
     // budget/fault environment of this one call, not the inputs.
@@ -92,6 +126,7 @@ ChaseChain BuildChaseChainImpl(const ViewSet& views, const ConjunctiveQuery& q,
   }
 
   ChaseChain chain;
+  std::int64_t ids_before_level = factory.next_id();
   chain.frozen_query = Freeze(q, factory);
 
   // Level 0.
@@ -116,6 +151,8 @@ ChaseChain BuildChaseChainImpl(const ViewSet& views, const ConjunctiveQuery& q,
       return chain;
     }
     chain.d_prime.push_back(std::move(dp0));
+    RecordChaseLevel(options.explain, 0, chain,
+                     factory.next_id() - ids_before_level);
   } catch (...) {
     if (budget != nullptr) budget->MarkInternalError();
     chain.d.clear();
@@ -135,6 +172,7 @@ ChaseChain BuildChaseChainImpl(const ViewSet& views, const ConjunctiveQuery& q,
     // Build the whole level into locals and append only when the budget
     // survived it — a tripped budget leaves a partial inverse, which must
     // never become a chain level.
+    ids_before_level = factory.next_id();
     try {
       // S'_{k+1} = V(D'_k)
       Instance sp = views.Apply(chain.d_prime[k]);
@@ -152,6 +190,8 @@ ChaseChain BuildChaseChainImpl(const ViewSet& views, const ConjunctiveQuery& q,
       chain.d.push_back(std::move(d));
       chain.s.push_back(std::move(s));
       chain.d_prime.push_back(std::move(dp));
+      RecordChaseLevel(options.explain, k + 1, chain,
+                       factory.next_id() - ids_before_level);
     } catch (...) {
       if (budget != nullptr) budget->MarkInternalError();
       chain.outcome = guard::Outcome::kInternalError;

@@ -7,6 +7,7 @@
 #include "cq/conjunctive_query.h"
 #include "guard/budget.h"
 #include "memo/memo.h"
+#include "obs/explain.h"
 #include "views/view_set.h"
 
 namespace vqdr {
@@ -59,6 +60,13 @@ struct ChaseChainOptions {
   /// the build ran to kComplete; a hit replays the factory advance so the
   /// caller observes byte-identical state. See DESIGN.md §9.
   memo::MemoOptions memo;
+
+  /// Optional decision-provenance sink (DESIGN.md §10): one kChaseLevel
+  /// event per completed level carrying the four instance sizes (|D_k|,
+  /// |S_k|, |S'_k|, |D'_k|) and the count of fresh nulls the level minted,
+  /// plus kMemo events for cache probes. nullptr (the default) records
+  /// nothing.
+  obs::ExplainLog* explain = nullptr;
 };
 
 /// Builds `levels`+1 levels of the chain for pure CQ views and query.

@@ -3,7 +3,9 @@
 #include "base/check.h"
 #include "chase/view_inverse.h"
 #include "cq/canonical.h"
+#include "cq/explain_bridge.h"
 #include "cq/matcher.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -19,13 +21,24 @@ namespace vqdr {
 namespace {
 
 UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacyImpl(
-    const ViewSet& views, const ConjunctiveQuery& q, guard::Budget* budget);
+    const ViewSet& views, const ConjunctiveQuery& q, guard::Budget* budget,
+    obs::ExplainLog* explain);
+
+void RecordDeterminacyMemoProbe(obs::ExplainLog* log, bool hit) {
+  if (!obs::Wants(log)) return;
+  obs::ExplainEvent e;
+  e.kind = obs::ExplainKind::kMemo;
+  e.label = "determinacy";
+  e.detail = hit ? "hit" : "miss";
+  e.stats["hit"] = hit ? 1 : 0;
+  log->Append(std::move(e));
+}
 
 }  // namespace
 
 UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacy(
     const ViewSet& views, const ConjunctiveQuery& q, guard::Budget* budget,
-    const memo::MemoOptions& memo) {
+    const memo::MemoOptions& memo, obs::ExplainLog* explain) {
 #ifndef VQDR_MEMO_DISABLED
   if (memo::ResolveUse(memo)) {
     VQDR_TRACE_SPAN("memo.determinacy");
@@ -34,22 +47,27 @@ UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacy(
     // (views, query) serializations replay byte-identically.
     std::string key = "det|" + views.ToString() + "|" + ExactCqKey(q);
     memo::Store& store = memo::ResolveStore(memo);
-    if (auto hit = store.Get<UnrestrictedDeterminacyResult>(key)) return *hit;
+    if (auto hit = store.Get<UnrestrictedDeterminacyResult>(key)) {
+      RecordDeterminacyMemoProbe(explain, /*hit=*/true);
+      return *hit;
+    }
+    RecordDeterminacyMemoProbe(explain, /*hit=*/false);
     UnrestrictedDeterminacyResult result =
-        DecideUnrestrictedDeterminacyImpl(views, q, budget);
+        DecideUnrestrictedDeterminacyImpl(views, q, budget, explain);
     // Never cache partial outcomes — they describe this run's budget, not
     // the inputs.
     if (guard::IsComplete(result.outcome)) store.Put(key, result);
     return result;
   }
 #endif
-  return DecideUnrestrictedDeterminacyImpl(views, q, budget);
+  return DecideUnrestrictedDeterminacyImpl(views, q, budget, explain);
 }
 
 namespace {
 
 UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacyImpl(
-    const ViewSet& views, const ConjunctiveQuery& q, guard::Budget* budget) {
+    const ViewSet& views, const ConjunctiveQuery& q, guard::Budget* budget,
+    obs::ExplainLog* explain) {
   VQDR_COUNTER_INC("determinacy.decisions");
   VQDR_TRACE_SPAN("determinacy.unrestricted");
   VQDR_CHECK(views.AllPureCq())
@@ -90,12 +108,36 @@ UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacyImpl(
 
     // Decision: x̄ ∈ Q(V_∅^{-1}(V([Q]))). The matcher polls the budget per
     // backtracking node, so a hostile chase-back cannot outlive a deadline.
-    result.determined =
-        CqAnswerContains(q, result.chase_inverse, frozen.frozen_head, budget);
+    Binding decision_witness;
+    result.determined = CqAnswerContains(
+        q, result.chase_inverse, frozen.frozen_head, budget,
+        obs::Wants(explain) ? &decision_witness : nullptr);
     if (budget != nullptr && budget->Stopped()) {
       result.outcome = budget->stop_reason();
       result.determined = false;
       return result;
+    }
+    if (obs::Wants(explain)) {
+      obs::ExplainEvent e;
+      e.kind = obs::ExplainKind::kDecision;
+      e.label = "determinacy.unrestricted";
+      e.stats["determined"] = result.determined ? 1 : 0;
+      e.stats["view_image_facts"] = static_cast<std::int64_t>(
+          result.canonical_view_image.TupleCount());
+      e.stats["chase_inverse_facts"] =
+          static_cast<std::int64_t>(result.chase_inverse.TupleCount());
+      if (result.determined) {
+        e.detail = "x̄ ∈ Q(D'): the frozen head is recoverable from the "
+                   "chased-back inverse (Theorem 3.7)";
+        e.witness = MakeContainmentWitness(q, result.chase_inverse,
+                                           frozen.frozen_head,
+                                           decision_witness);
+      } else {
+        e.detail = "x̄ ∉ Q(D'): the chased-back inverse does not recover "
+                   "the frozen head (Theorem 3.7)";
+        e.instance = ToExplainFacts(result.chase_inverse);
+      }
+      explain->Append(std::move(e));
     }
   } catch (...) {
     if (budget != nullptr) budget->MarkInternalError();

@@ -7,6 +7,7 @@
 #include "data/instance.h"
 #include "guard/budget.h"
 #include "memo/memo.h"
+#include "obs/explain.h"
 #include "views/view_set.h"
 
 namespace vqdr {
@@ -54,9 +55,15 @@ struct UnrestrictedDeterminacyResult {
 /// image, inverse, rewriting) is cached under an exact key — the decision
 /// builds its own value factory, so equal inputs replay byte-identically —
 /// and only kComplete outcomes are ever installed. See DESIGN.md §9.
+///
+/// `explain`, when non-null (and VQDR_OBS is compiled in), receives the
+/// decision's provenance: a kDecision event carrying either the replayable
+/// homomorphism witnessing x̄ ∈ Q(D') (determined) or the chased-back D'
+/// that refutes it (not determined), plus kMemo events for cache probes.
 UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacy(
     const ViewSet& views, const ConjunctiveQuery& q,
-    guard::Budget* budget = nullptr, const memo::MemoOptions& memo = {});
+    guard::Budget* budget = nullptr, const memo::MemoOptions& memo = {},
+    obs::ExplainLog* explain = nullptr);
 
 }  // namespace vqdr
 

@@ -5,7 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "cq/explain_bridge.h"
 #include "guard/fault.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -529,6 +531,38 @@ MonotonicitySearchResult SearchMonotonicityViolationParallel(
 
 #endif  // VQDR_PAR_DISABLED
 
+// Provenance for a finished bounded search: the refuting pair itself on a
+// hit (both instances, replayable), a kNote stating what the silence means
+// otherwise. Recorded in the top-level wrappers so serial and parallel
+// sweeps produce identical logs.
+void RecordSearchOutcome(obs::ExplainLog* log, const char* label,
+                         SearchVerdict verdict,
+                         std::uint64_t instances_examined, const Instance* d1,
+                         const Instance* d2) {
+  if (!obs::Wants(log)) return;
+  obs::ExplainEvent e;
+  e.label = label;
+  e.stats["instances_examined"] =
+      static_cast<std::int64_t>(instances_examined);
+  switch (verdict) {
+    case SearchVerdict::kCounterexampleFound:
+      e.kind = obs::ExplainKind::kCounterexample;
+      e.detail = "refuting pair found: equal view images, different answers";
+      e.instance = ToExplainFacts(*d1);
+      e.instance2 = ToExplainFacts(*d2);
+      break;
+    case SearchVerdict::kNoneWithinBound:
+      e.kind = obs::ExplainKind::kNote;
+      e.detail = "no counterexample within bound (silence, not proof)";
+      break;
+    case SearchVerdict::kBudgetExhausted:
+      e.kind = obs::ExplainKind::kNote;
+      e.detail = "search stopped before covering the space";
+      break;
+  }
+  log->Append(std::move(e));
+}
+
 }  // namespace
 
 DeterminacySearchResult SearchDeterminacyCounterexample(
@@ -536,18 +570,29 @@ DeterminacySearchResult SearchDeterminacyCounterexample(
     const EnumerationOptions& options) {
   VQDR_TRACE_SPAN("search.determinacy");
   const int threads = ResolveThreads(options);
+  DeterminacySearchResult result;
+  bool computed = false;
 #ifndef VQDR_PAR_DISABLED
   if (threads > 1) {
     InstanceSpace space(base, UniverseFor(options));
     if (space.indexable()) {
-      return SearchDeterminacyCounterexampleParallel(views, q, space, options,
-                                                     threads);
+      result = SearchDeterminacyCounterexampleParallel(views, q, space,
+                                                       options, threads);
+      computed = true;
     }
     // Not indexable: the serial sweep's incremental bail-out semantics are
     // the only option.
   }
 #endif
-  return SearchDeterminacyCounterexampleSerial(views, q, base, options);
+  if (!computed) {
+    result = SearchDeterminacyCounterexampleSerial(views, q, base, options);
+  }
+  RecordSearchOutcome(
+      options.explain, "search.determinacy", result.verdict,
+      result.instances_examined,
+      result.counterexample ? &result.counterexample->d1 : nullptr,
+      result.counterexample ? &result.counterexample->d2 : nullptr);
+  return result;
 }
 
 MonotonicitySearchResult SearchMonotonicityViolation(
@@ -555,16 +600,26 @@ MonotonicitySearchResult SearchMonotonicityViolation(
     const EnumerationOptions& options) {
   VQDR_TRACE_SPAN("search.monotonicity");
   const int threads = ResolveThreads(options);
+  MonotonicitySearchResult result;
+  bool computed = false;
 #ifndef VQDR_PAR_DISABLED
   if (threads > 1) {
     InstanceSpace space(base, UniverseFor(options));
     if (space.indexable()) {
-      return SearchMonotonicityViolationParallel(views, q, space, options,
-                                                 threads);
+      result = SearchMonotonicityViolationParallel(views, q, space, options,
+                                                   threads);
+      computed = true;
     }
   }
 #endif
-  return SearchMonotonicityViolationSerial(views, q, base, options);
+  if (!computed) {
+    result = SearchMonotonicityViolationSerial(views, q, base, options);
+  }
+  RecordSearchOutcome(options.explain, "search.monotonicity", result.verdict,
+                      result.instances_examined,
+                      result.violation ? &result.violation->d1 : nullptr,
+                      result.violation ? &result.violation->d2 : nullptr);
+  return result;
 }
 
 }  // namespace vqdr

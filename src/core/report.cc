@@ -46,14 +46,16 @@ namespace {
 
 DeterminacyReport AnalyzeDeterminacyImpl(
     const ViewSet& views, const ConjunctiveQuery& q, const Schema& base,
-    const DeterminacyAnalysisOptions& opts) {
+    const DeterminacyAnalysisOptions& opts, obs::ExplainLog* log) {
   guard::Budget* budget =
       opts.budget != nullptr ? opts.budget : opts.search.budget;
   EnumerationOptions search_opts = opts.search;
   search_opts.budget = budget;
+  search_opts.explain = log;
 
   DeterminacyReport report;
-  report.unrestricted = DecideUnrestrictedDeterminacy(views, q, budget);
+  report.unrestricted =
+      DecideUnrestrictedDeterminacy(views, q, budget, {}, log);
   if (!guard::IsComplete(report.unrestricted.outcome)) {
     // The exact decision could not finish inside the budget: no fabricated
     // verdict. Everything the chase computed so far rides along in
@@ -106,10 +108,34 @@ DeterminacyReport AnalyzeDeterminacy(const ViewSet& views,
   // report (single-threaded analysis, so the delta is exactly ours).
   obs::MetricsSnapshot before = obs::SnapshotMetrics();
   memo::StatsSnapshot memo_before = memo::GlobalStats();
+  // The provenance log lives in a local and is spliced into the report at
+  // the end: the battery's sub-calls write through a stable pointer even
+  // though the report object itself is move-assigned below.
+  obs::ExplainLog log;
+  obs::ExplainLog* log_ptr = opts.explain ? &log : nullptr;
   DeterminacyReport report;
   {
     VQDR_TRACE_SPAN("report.analyze");
-    report = AnalyzeDeterminacyImpl(views, q, base, opts);
+    report = AnalyzeDeterminacyImpl(views, q, base, opts, log_ptr);
+  }
+  if (obs::Wants(log_ptr)) {
+    obs::ExplainEvent closing;
+    closing.kind = obs::ExplainKind::kDecision;
+    closing.label = "report.verdict";
+    switch (report.verdict) {
+      case DeterminacyVerdict::kDeterminedWithRewriting:
+        closing.detail = "determined (with rewriting)";
+        break;
+      case DeterminacyVerdict::kRefuted:
+        closing.detail = "refuted";
+        break;
+      case DeterminacyVerdict::kOpenWithinBound:
+        closing.detail = "open within bound";
+        break;
+    }
+    closing.stats["searches_exhaustive"] = report.searches_exhaustive ? 1 : 0;
+    log.Append(std::move(closing));
+    report.explain = std::move(log);
   }
   report.metrics = obs::SnapshotDelta(before);
   report.memo = memo::GlobalStats().Delta(memo_before);

@@ -8,6 +8,7 @@
 #include "core/finite_search.h"
 #include "cq/conjunctive_query.h"
 #include "memo/memo.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "views/view_set.h"
 
@@ -40,6 +41,12 @@ struct DeterminacyAnalysisOptions {
   /// would and in the chase decision too; when both are set, this one wins.
   /// nullptr = ungoverned.
   guard::Budget* budget = nullptr;
+
+  /// Collect decision provenance into DeterminacyReport::explain: the chase
+  /// decision's witness or refuting inverse, every counterexample pair the
+  /// searches surface, memo probes, and a closing note naming the verdict.
+  /// No-op (empty log) when VQDR_OBS is compiled out. See DESIGN.md §10.
+  bool explain = false;
 };
 
 /// Everything the library can say about one (V, Q) pair, assembled.
@@ -77,6 +84,10 @@ struct DeterminacyReport {
   /// store's delta across the battery). All-zero when memoization is
   /// disabled or compiled out.
   memo::StatsSnapshot memo;
+
+  /// Decision provenance (populated when opts.explain was set and VQDR_OBS
+  /// is compiled in; empty otherwise). Serialize with explain.ToJson().
+  obs::ExplainLog explain;
 
   /// One-paragraph human-readable summary, ending with "[metrics] ..." /
   /// "[memo] ..." blocks when the analysis recorded any.

@@ -7,6 +7,7 @@
 
 #include "base/check.h"
 #include "cq/canonical.h"
+#include "cq/explain_bridge.h"
 #include "cq/matcher.h"
 #include "guard/fault.h"
 #include "obs/metrics.h"
@@ -79,6 +80,72 @@ struct PatternInstance {
   Instance instance{Schema{}};
   Tuple frozen_head;
 };
+
+// Records one pattern check into the explain log: a replayable witness when
+// the pattern passed (q2 maps into the canonical database hitting the frozen
+// head), the refuting canonical database when it failed. `q2` is the query
+// the witness binding is over (a CQ, or the witnessing UCQ disjunct).
+void RecordPatternCheck(obs::ExplainLog* log, const char* label,
+                        const ConjunctiveQuery& q2,
+                        const PatternInstance& pattern, bool pass,
+                        const Binding& witness_binding,
+                        std::int64_t disjunct = -1) {
+  obs::ExplainEvent e;
+  e.label = label;
+  e.stats["instance_facts"] =
+      static_cast<std::int64_t>(pattern.instance.TupleCount());
+  if (disjunct >= 0) e.stats["disjunct"] = disjunct;
+  if (pass) {
+    e.kind = obs::ExplainKind::kWitness;
+    e.witness = MakeContainmentWitness(q2, pattern.instance,
+                                       pattern.frozen_head, witness_binding);
+  } else {
+    e.kind = obs::ExplainKind::kRefutation;
+    e.instance = ToExplainFacts(pattern.instance);
+    std::string head;
+    for (Value v : pattern.frozen_head) {
+      if (!head.empty()) head += ",";
+      head += std::to_string(v.id);
+    }
+    e.detail = "frozen head (" + head + ") has no preimage under the right query";
+  }
+  log->Append(std::move(e));
+}
+
+// Records a memo probe (hit or miss) for a containment subproblem.
+void RecordMemoProbe(obs::ExplainLog* log, const char* label, bool hit) {
+  if (!obs::Wants(log)) return;
+  obs::ExplainEvent e;
+  e.kind = obs::ExplainKind::kMemo;
+  e.label = label;
+  e.detail = hit ? "hit" : "miss";
+  e.stats["hit"] = hit ? 1 : 0;
+  log->Append(std::move(e));
+}
+
+// Checks one canonical database against a UCQ disjunct by disjunct so the
+// witnessing disjunct — and its homomorphism — can be recorded. Equivalent
+// to EvaluateUcq + Contains for the negation-free disjuncts containment
+// admits (CqAnswerContains normalizes and filters the same way EvaluateCq
+// does). Skips recording when the budget stopped mid-check, mirroring the
+// governed sweep's "report pass so a stop cannot masquerade as a witness".
+bool ExplainedUcqCheck(obs::ExplainLog* log, const UnionQuery& q2,
+                       const PatternInstance& pattern, guard::Budget* budget) {
+  for (std::size_t i = 0; i < q2.disjuncts().size(); ++i) {
+    Binding witness;
+    bool pass = CqAnswerContains(q2.disjuncts()[i], pattern.instance,
+                                 pattern.frozen_head, budget, &witness);
+    if (budget != nullptr && budget->Stopped()) return true;
+    if (pass) {
+      RecordPatternCheck(log, "ucq.sub", q2.disjuncts()[i], pattern, true,
+                         witness, static_cast<std::int64_t>(i));
+      return true;
+    }
+  }
+  RecordPatternCheck(log, "ucq.sub", q2.disjuncts().front(), pattern, false,
+                     Binding{});
+  return false;
+}
 
 // Enumerates the collapsed queries of every identification pattern of q1's
 // variables: every partition of the variables (restricted growth strings),
@@ -335,12 +402,20 @@ bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
     if (!sat2) return !CqSatisfiable(n1);
 
     bool need_patterns = n1.UsesDisequality() || n2.UsesDisequality();
-    return ForEachCanonicalDb(n1, UnionConstants(n1, n2), need_patterns,
-                              ResolveThreads(options),
-                              [&](const PatternInstance& pattern) {
-                                return CqAnswerContains(n2, pattern.instance,
-                                                        pattern.frozen_head);
-                              });
+    return ForEachCanonicalDb(
+        n1, UnionConstants(n1, n2), need_patterns, ResolveThreads(options),
+        [&](const PatternInstance& pattern) {
+          if (obs::Wants(options.explain)) {
+            Binding witness;
+            bool pass = CqAnswerContains(n2, pattern.instance,
+                                         pattern.frozen_head, nullptr,
+                                         &witness);
+            RecordPatternCheck(options.explain, "cq.sub", n2, pattern, pass,
+                               witness);
+            return pass;
+          }
+          return CqAnswerContains(n2, pattern.instance, pattern.frozen_head);
+        });
   };
 
 #ifndef VQDR_MEMO_DISABLED
@@ -351,7 +426,11 @@ bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
                        CanonicalCqFingerprint(q2));
     if (key.has_value()) {
       memo::Store& store = memo::ResolveStore(options.memo);
-      if (auto hit = store.Get<bool>(*key)) return *hit;
+      if (auto hit = store.Get<bool>(*key)) {
+        RecordMemoProbe(options.explain, "cq.sub", /*hit=*/true);
+        return *hit;
+      }
+      RecordMemoProbe(options.explain, "cq.sub", /*hit=*/false);
       bool contained = compute();
       store.Put(*key, contained);
       return contained;
@@ -415,12 +494,19 @@ ContainmentResult CqContainedInGoverned(const ConjunctiveQuery& q1,
     SweepOutcome sweep = SweepCanonicalDbs(
         n1, UnionConstants(n1, n2), need_patterns, ResolveThreads(options),
         budget, [&](const PatternInstance& pattern) {
+          bool want_explain = obs::Wants(options.explain);
+          Binding witness;
           bool pass = CqAnswerContains(n2, pattern.instance,
-                                       pattern.frozen_head, budget);
+                                       pattern.frozen_head, budget,
+                                       want_explain ? &witness : nullptr);
           // A budget stop mid-match makes the answer meaningless; report
           // "pass" so it cannot masquerade as a witness — the sweep records
           // the stop separately.
           if (budget != nullptr && budget->Stopped()) return true;
+          if (want_explain) {
+            RecordPatternCheck(options.explain, "cq.sub", n2, pattern, pass,
+                               witness);
+          }
           return pass;
         });
     return ResolveSweep(sweep, budget);
@@ -435,10 +521,12 @@ ContainmentResult CqContainedInGoverned(const ConjunctiveQuery& q1,
     if (key.has_value()) {
       memo::Store& store = memo::ResolveStore(options.memo);
       if (auto hit = store.Get<bool>(*key)) {
+        RecordMemoProbe(options.explain, "cq.sub", /*hit=*/true);
         ContainmentResult cached;
         cached.contained = *hit;
         return cached;  // A cached verdict is complete by construction.
       }
+      RecordMemoProbe(options.explain, "cq.sub", /*hit=*/false);
       ContainmentResult result = compute();
       // Cache only definitive verdicts. ResolveSweep reports every witness
       // with outcome kComplete, so this single check also admits
@@ -488,6 +576,9 @@ bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2,
       bool contained = ForEachCanonicalDb(
           normalized, constants, need_patterns, ResolveThreads(options),
           [&](const PatternInstance& pattern) {
+            if (obs::Wants(options.explain)) {
+              return ExplainedUcqCheck(options.explain, q2, pattern, nullptr);
+            }
             Relation answer = EvaluateUcq(q2, pattern.instance);
             return answer.Contains(pattern.frozen_head);
           });
@@ -504,7 +595,11 @@ bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2,
                        CanonicalUcqFingerprint(q2));
     if (key.has_value()) {
       memo::Store& store = memo::ResolveStore(options.memo);
-      if (auto hit = store.Get<bool>(*key)) return *hit;
+      if (auto hit = store.Get<bool>(*key)) {
+        RecordMemoProbe(options.explain, "ucq.sub", /*hit=*/true);
+        return *hit;
+      }
+      RecordMemoProbe(options.explain, "ucq.sub", /*hit=*/false);
       bool contained = compute();
       store.Put(*key, contained);
       return contained;
@@ -552,6 +647,9 @@ ContainmentResult UcqContainedInGoverned(const UnionQuery& q1,
       SweepOutcome sweep = SweepCanonicalDbs(
           normalized, constants, need_patterns, ResolveThreads(options),
           budget, [&](const PatternInstance& pattern) {
+            if (obs::Wants(options.explain)) {
+              return ExplainedUcqCheck(options.explain, q2, pattern, budget);
+            }
             Relation answer = EvaluateUcq(q2, pattern.instance);
             if (budget != nullptr && budget->Stopped()) return true;
             return answer.Contains(pattern.frozen_head);
@@ -579,10 +677,12 @@ ContainmentResult UcqContainedInGoverned(const UnionQuery& q1,
     if (key.has_value()) {
       memo::Store& store = memo::ResolveStore(options.memo);
       if (auto hit = store.Get<bool>(*key)) {
+        RecordMemoProbe(options.explain, "ucq.sub", /*hit=*/true);
         ContainmentResult cached;
         cached.contained = *hit;
         return cached;
       }
+      RecordMemoProbe(options.explain, "ucq.sub", /*hit=*/false);
       ContainmentResult result = compute();
       if (guard::IsComplete(result.outcome)) {
         store.Put(*key, result.contained);

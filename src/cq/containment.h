@@ -7,6 +7,7 @@
 #include "cq/ucq.h"
 #include "guard/budget.h"
 #include "memo/memo.h"
+#include "obs/explain.h"
 
 namespace vqdr {
 
@@ -33,6 +34,16 @@ struct CqContainmentOptions {
   /// governed sweeps install only kComplete verdicts (witnesses of
   /// non-containment count: they are definitive). See DESIGN.md §9.
   memo::MemoOptions memo;
+
+  /// Optional decision-provenance sink (DESIGN.md §10). When non-null and
+  /// VQDR_OBS is compiled in, every pattern check appends an event: a
+  /// kWitness with the replayable homomorphism when the pattern passed, a
+  /// kRefutation carrying the canonical database when it failed, plus kMemo
+  /// events for cache probes. Appends are internally synchronized, so
+  /// parallel sweeps share the log safely. The artifact grows with the
+  /// identification-pattern count — attach it to targeted checks, not bulk
+  /// batteries.
+  obs::ExplainLog* explain = nullptr;
 };
 
 /// Result of a governed containment test.

@@ -1,0 +1,36 @@
+#ifndef VQDR_CQ_EXPLAIN_BRIDGE_H_
+#define VQDR_CQ_EXPLAIN_BRIDGE_H_
+
+#include <vector>
+
+#include "cq/conjunctive_query.h"
+#include "cq/matcher.h"
+#include "data/instance.h"
+#include "obs/explain.h"
+
+// Conversions between the solver's typed objects (Instance, Atom, Binding)
+// and the generic provenance payloads of obs::ExplainLog. The obs layer
+// sits below cq in the link order, so these conversions live here rather
+// than in obs.
+
+namespace vqdr {
+
+/// Flattens an instance into (relation, value-ids) facts, in schema order.
+std::vector<obs::ExplainFact> ToExplainFacts(const Instance& instance);
+
+/// Converts one query atom; variables keep their names, constants their ids.
+obs::ExplainAtom ToExplainAtom(const Atom& atom);
+
+/// Builds the self-contained replayable witness for "binding maps q into db
+/// with head image expected_head". `q` is normalized (PropagateEqualities)
+/// exactly as CqAnswerContains normalizes it, so a binding produced by the
+/// witness-returning CqAnswerContains overload lines up with the recorded
+/// atoms. The witness carries the instance, so Verify needs nothing else.
+obs::ExplainWitness MakeContainmentWitness(const ConjunctiveQuery& q,
+                                           const Instance& db,
+                                           const Tuple& expected_head,
+                                           const Binding& binding);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CQ_EXPLAIN_BRIDGE_H_

@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vqdr {
 
@@ -146,6 +147,9 @@ bool ForEachMatch(const std::vector<Atom>& atoms, const Instance& db,
     VQDR_CHECK_EQ(*db.schema().ArityOf(atom.predicate), atom.arity())
         << "atom/relation arity mismatch for " << atom.predicate;
   }
+  // With tracing off this is one relaxed load; with it on, the hom matcher
+  // shows up as its own node in the span-tree profile.
+  VQDR_TRACE_SPAN("cq.match", static_cast<std::int64_t>(atoms.size()));
   std::vector<int> remaining(atoms.size());
   for (std::size_t i = 0; i < atoms.size(); ++i) {
     remaining[i] = static_cast<int>(i);
@@ -193,6 +197,12 @@ Relation EvaluateUcq(const UnionQuery& q, const Instance& db) {
 
 bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
                       const Tuple& tuple, guard::Budget* budget) {
+  return CqAnswerContains(q, db, tuple, budget, nullptr);
+}
+
+bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
+                      const Tuple& tuple, guard::Budget* budget,
+                      Binding* witness) {
   VQDR_COUNTER_INC("cq.answer_contains.calls");
   VQDR_CHECK_EQ(static_cast<int>(tuple.size()), q.head_arity());
   VQDR_CHECK(q.IsSafe()) << "evaluating unsafe query: " << q.ToString();
@@ -223,6 +233,7 @@ bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
       [&](const Binding& binding) {
         if (FiltersPass(normalized, db, binding)) {
           found = true;
+          if (witness != nullptr) *witness = binding;
           return false;  // stop
         }
         return true;

@@ -47,6 +47,14 @@ Relation EvaluateUcq(const UnionQuery& q, const Instance& db);
 bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
                       const Tuple& tuple, guard::Budget* budget = nullptr);
 
+/// Witness-returning variant: on a true return, `*witness` holds the full
+/// homomorphism (over the variables of q.PropagateEqualities()) that maps
+/// the query into db with head image `tuple` — the certificate the explain
+/// layer records and replays. Untouched on a false return.
+bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
+                      const Tuple& tuple, guard::Budget* budget,
+                      Binding* witness);
+
 /// True iff the Boolean query is satisfied (head arity must be 0).
 bool CqHolds(const ConjunctiveQuery& q, const Instance& db);
 

@@ -6,6 +6,7 @@
 
 #include "data/instance.h"
 #include "guard/budget.h"
+#include "obs/explain.h"
 
 namespace vqdr {
 
@@ -32,6 +33,12 @@ struct EnumerationOptions {
   /// deadline, step, memory, or cancellation; the sweep reports the stop
   /// reason instead of a covered space. nullptr = ungoverned.
   guard::Budget* budget = nullptr;
+
+  /// Optional decision-provenance sink (DESIGN.md §10). Plain enumeration
+  /// ignores it; the bounded searches in core/finite_search record a
+  /// kCounterexample event (carrying both instances of the refuting pair)
+  /// when a search finds one, and a kNote summarizing a clean sweep.
+  obs::ExplainLog* explain = nullptr;
 };
 
 /// Result flag: did the enumeration cover the whole space?

@@ -1,0 +1,455 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace vqdr::obs {
+
+namespace {
+
+// Resolves a term under the binding. Returns false (with *error) when a
+// variable has no binding entry.
+bool ResolveTerm(const ExplainTerm& term,
+                 const std::map<std::string, std::int64_t>& binding,
+                 std::int64_t* out, std::string* error) {
+  if (!term.is_var) {
+    *out = term.value;
+    return true;
+  }
+  auto it = binding.find(term.var);
+  if (it == binding.end()) {
+    if (error != nullptr) *error = "unbound variable '" + term.var + "'";
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+void AppendTermJson(const ExplainTerm& term, std::string* out) {
+  if (term.is_var) {
+    *out += "{\"v\":";
+    internal::AppendJsonString(term.var, out);
+    *out += "}";
+  } else {
+    *out += "{\"c\":";
+    *out += std::to_string(term.value);
+    *out += "}";
+  }
+}
+
+void AppendFactJson(const ExplainFact& fact, std::string* out) {
+  *out += "{\"r\":";
+  internal::AppendJsonString(fact.relation, out);
+  *out += ",\"t\":[";
+  for (std::size_t i = 0; i < fact.tuple.size(); ++i) {
+    if (i != 0) out->push_back(',');
+    *out += std::to_string(fact.tuple[i]);
+  }
+  *out += "]}";
+}
+
+void AppendFactsJson(const std::vector<ExplainFact>& facts, std::string* out) {
+  out->push_back('[');
+  for (std::size_t i = 0; i < facts.size(); ++i) {
+    if (i != 0) out->push_back(',');
+    AppendFactJson(facts[i], out);
+  }
+  out->push_back(']');
+}
+
+void AppendWitnessJson(const ExplainWitness& w, std::string* out) {
+  *out += "{\"atoms\":[";
+  for (std::size_t i = 0; i < w.atoms.size(); ++i) {
+    if (i != 0) out->push_back(',');
+    *out += "{\"p\":";
+    internal::AppendJsonString(w.atoms[i].relation, out);
+    *out += ",\"args\":[";
+    for (std::size_t j = 0; j < w.atoms[i].args.size(); ++j) {
+      if (j != 0) out->push_back(',');
+      AppendTermJson(w.atoms[i].args[j], out);
+    }
+    *out += "]}";
+  }
+  *out += "],\"head\":[";
+  for (std::size_t i = 0; i < w.head.size(); ++i) {
+    if (i != 0) out->push_back(',');
+    AppendTermJson(w.head[i], out);
+  }
+  *out += "]";
+  if (!w.disequalities.empty()) {
+    *out += ",\"diseq\":[";
+    for (std::size_t i = 0; i < w.disequalities.size(); ++i) {
+      if (i != 0) out->push_back(',');
+      out->push_back('[');
+      AppendTermJson(w.disequalities[i].first, out);
+      out->push_back(',');
+      AppendTermJson(w.disequalities[i].second, out);
+      out->push_back(']');
+    }
+    *out += "]";
+  }
+  *out += ",\"binding\":{";
+  bool first = true;
+  for (const auto& [var, value] : w.binding) {
+    if (!first) out->push_back(',');
+    first = false;
+    internal::AppendJsonString(var, out);
+    out->push_back(':');
+    *out += std::to_string(value);
+  }
+  *out += "},\"expected_head\":[";
+  for (std::size_t i = 0; i < w.expected_head.size(); ++i) {
+    if (i != 0) out->push_back(',');
+    *out += std::to_string(w.expected_head[i]);
+  }
+  *out += "],\"instance\":";
+  AppendFactsJson(w.instance, out);
+  *out += "}";
+}
+
+void AppendEventJson(const ExplainEvent& e, std::string* out) {
+  *out += "{\"kind\":";
+  internal::AppendJsonString(ExplainKindName(e.kind), out);
+  *out += ",\"label\":";
+  internal::AppendJsonString(e.label, out);
+  if (!e.detail.empty()) {
+    *out += ",\"detail\":";
+    internal::AppendJsonString(e.detail, out);
+  }
+  if (!e.stats.empty()) {
+    *out += ",\"stats\":{";
+    bool first = true;
+    for (const auto& [name, value] : e.stats) {
+      if (!first) out->push_back(',');
+      first = false;
+      internal::AppendJsonString(name, out);
+      out->push_back(':');
+      *out += std::to_string(value);
+    }
+    *out += "}";
+  }
+  if (e.witness.has_value()) {
+    *out += ",\"witness\":";
+    AppendWitnessJson(*e.witness, out);
+  }
+  if (!e.instance.empty()) {
+    *out += ",\"instance\":";
+    AppendFactsJson(e.instance, out);
+  }
+  if (!e.instance2.empty()) {
+    *out += ",\"instance2\":";
+    AppendFactsJson(e.instance2, out);
+  }
+  *out += "}";
+}
+
+// --- parsing (ToJson round trip) -------------------------------------------
+
+bool ParseTerm(const json::Value& v, ExplainTerm* out, std::string* error) {
+  if (!v.IsObject()) {
+    if (error != nullptr) *error = "term is not an object";
+    return false;
+  }
+  if (const json::Value* var = v.Find("v"); var != nullptr && var->IsString()) {
+    *out = ExplainTerm::Var(var->string_value);
+    return true;
+  }
+  if (const json::Value* c = v.Find("c"); c != nullptr && c->IsNumber()) {
+    *out = ExplainTerm::Const(c->int_value);
+    return true;
+  }
+  if (error != nullptr) *error = "term has neither \"v\" nor \"c\"";
+  return false;
+}
+
+bool ParseFacts(const json::Value& v, std::vector<ExplainFact>* out,
+                std::string* error) {
+  if (!v.IsArray()) {
+    if (error != nullptr) *error = "facts payload is not an array";
+    return false;
+  }
+  for (const json::Value& f : v.array) {
+    ExplainFact fact;
+    fact.relation = f.StringOr("r", "");
+    const json::Value* tuple = f.Find("t");
+    if (!f.IsObject() || tuple == nullptr || !tuple->IsArray()) {
+      if (error != nullptr) *error = "fact missing \"r\"/\"t\"";
+      return false;
+    }
+    for (const json::Value& x : tuple->array) fact.tuple.push_back(x.int_value);
+    out->push_back(std::move(fact));
+  }
+  return true;
+}
+
+bool ParseWitness(const json::Value& v, ExplainWitness* out,
+                  std::string* error) {
+  if (!v.IsObject()) {
+    if (error != nullptr) *error = "witness is not an object";
+    return false;
+  }
+  if (const json::Value* atoms = v.Find("atoms");
+      atoms != nullptr && atoms->IsArray()) {
+    for (const json::Value& a : atoms->array) {
+      ExplainAtom atom;
+      atom.relation = a.StringOr("p", "");
+      if (const json::Value* args = a.Find("args");
+          args != nullptr && args->IsArray()) {
+        for (const json::Value& t : args->array) {
+          ExplainTerm term;
+          if (!ParseTerm(t, &term, error)) return false;
+          atom.args.push_back(std::move(term));
+        }
+      }
+      out->atoms.push_back(std::move(atom));
+    }
+  }
+  if (const json::Value* head = v.Find("head");
+      head != nullptr && head->IsArray()) {
+    for (const json::Value& t : head->array) {
+      ExplainTerm term;
+      if (!ParseTerm(t, &term, error)) return false;
+      out->head.push_back(std::move(term));
+    }
+  }
+  if (const json::Value* diseq = v.Find("diseq");
+      diseq != nullptr && diseq->IsArray()) {
+    for (const json::Value& pair : diseq->array) {
+      if (!pair.IsArray() || pair.array.size() != 2) {
+        if (error != nullptr) *error = "diseq entry is not a pair";
+        return false;
+      }
+      ExplainTerm a, b;
+      if (!ParseTerm(pair.array[0], &a, error)) return false;
+      if (!ParseTerm(pair.array[1], &b, error)) return false;
+      out->disequalities.emplace_back(std::move(a), std::move(b));
+    }
+  }
+  if (const json::Value* binding = v.Find("binding");
+      binding != nullptr && binding->IsObject()) {
+    for (const auto& [var, value] : binding->object) {
+      out->binding[var] = value.int_value;
+    }
+  }
+  if (const json::Value* expected = v.Find("expected_head");
+      expected != nullptr && expected->IsArray()) {
+    for (const json::Value& x : expected->array) {
+      out->expected_head.push_back(x.int_value);
+    }
+  }
+  if (const json::Value* instance = v.Find("instance"); instance != nullptr) {
+    if (!ParseFacts(*instance, &out->instance, error)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ExplainWitness::Verify(std::string* error) const {
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const ExplainAtom& atom = atoms[i];
+    ExplainFact image;
+    image.relation = atom.relation;
+    for (const ExplainTerm& term : atom.args) {
+      std::int64_t v = 0;
+      if (!ResolveTerm(term, binding, &v, error)) return false;
+      image.tuple.push_back(v);
+    }
+    if (std::find(instance.begin(), instance.end(), image) == instance.end()) {
+      if (error != nullptr) {
+        std::string tuple;
+        for (std::int64_t v : image.tuple) {
+          if (!tuple.empty()) tuple += ",";
+          tuple += std::to_string(v);
+        }
+        *error = "atom " + std::to_string(i) + " image " + image.relation +
+                 "(" + tuple + ") is not a fact of the instance";
+      }
+      return false;
+    }
+  }
+  if (head.size() != expected_head.size()) {
+    if (error != nullptr) *error = "head arity mismatch";
+    return false;
+  }
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    std::int64_t v = 0;
+    if (!ResolveTerm(head[i], binding, &v, error)) return false;
+    if (v != expected_head[i]) {
+      if (error != nullptr) {
+        *error = "head position " + std::to_string(i) + " resolves to " +
+                 std::to_string(v) + ", expected " +
+                 std::to_string(expected_head[i]);
+      }
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < disequalities.size(); ++i) {
+    std::int64_t a = 0, b = 0;
+    if (!ResolveTerm(disequalities[i].first, binding, &a, error)) return false;
+    if (!ResolveTerm(disequalities[i].second, binding, &b, error)) return false;
+    if (a == b) {
+      if (error != nullptr) {
+        *error = "disequality " + std::to_string(i) +
+                 " violated: both sides resolve to " + std::to_string(a);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* ExplainKindName(ExplainKind kind) {
+  switch (kind) {
+    case ExplainKind::kNote: return "note";
+    case ExplainKind::kChaseLevel: return "chase_level";
+    case ExplainKind::kDecision: return "decision";
+    case ExplainKind::kWitness: return "witness";
+    case ExplainKind::kRefutation: return "refutation";
+    case ExplainKind::kCounterexample: return "counterexample";
+    case ExplainKind::kMemo: return "memo";
+    case ExplainKind::kGuard: return "guard";
+  }
+  return "note";
+}
+
+std::optional<ExplainKind> ExplainKindFromName(std::string_view name) {
+  for (ExplainKind k :
+       {ExplainKind::kNote, ExplainKind::kChaseLevel, ExplainKind::kDecision,
+        ExplainKind::kWitness, ExplainKind::kRefutation,
+        ExplainKind::kCounterexample, ExplainKind::kMemo,
+        ExplainKind::kGuard}) {
+    if (name == ExplainKindName(k)) return k;
+  }
+  return std::nullopt;
+}
+
+ExplainLog::ExplainLog(const ExplainLog& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  events_ = other.events_;
+}
+
+ExplainLog& ExplainLog::operator=(const ExplainLog& other) {
+  if (this == &other) return *this;
+  std::vector<ExplainEvent> copy;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    copy = other.events_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  events_ = std::move(copy);
+  return *this;
+}
+
+ExplainLog::ExplainLog(ExplainLog&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  events_ = std::move(other.events_);
+}
+
+ExplainLog& ExplainLog::operator=(ExplainLog&& other) noexcept {
+  if (this == &other) return *this;
+  std::vector<ExplainEvent> moved;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    moved = std::move(other.events_);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  events_ = std::move(moved);
+  return *this;
+}
+
+void ExplainLog::Append(ExplainEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void ExplainLog::Note(std::string label, std::string detail) {
+  ExplainEvent e;
+  e.kind = ExplainKind::kNote;
+  e.label = std::move(label);
+  e.detail = std::move(detail);
+  Append(std::move(e));
+}
+
+std::size_t ExplainLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void ExplainLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::vector<ExplainEvent> ExplainLog::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string ExplainLog::ToJson() const {
+  std::vector<ExplainEvent> snapshot = events();
+  std::string out = "{\"explain\":1,\"events\":[";
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendEventJson(snapshot[i], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+std::optional<ExplainLog> ExplainLog::FromJson(std::string_view text,
+                                               std::string* error) {
+  std::optional<json::Value> doc = json::Parse(text, error);
+  if (!doc.has_value()) return std::nullopt;
+  if (!doc->IsObject() || doc->IntOr("explain", 0) != 1) {
+    if (error != nullptr) *error = "not an explain document (\"explain\":1)";
+    return std::nullopt;
+  }
+  const json::Value* events = doc->Find("events");
+  if (events == nullptr || !events->IsArray()) {
+    if (error != nullptr) *error = "missing \"events\" array";
+    return std::nullopt;
+  }
+  ExplainLog log;
+  for (const json::Value& ev : events->array) {
+    if (!ev.IsObject()) {
+      if (error != nullptr) *error = "event is not an object";
+      return std::nullopt;
+    }
+    ExplainEvent e;
+    std::optional<ExplainKind> kind =
+        ExplainKindFromName(ev.StringOr("kind", ""));
+    if (!kind.has_value()) {
+      if (error != nullptr) *error = "unknown event kind";
+      return std::nullopt;
+    }
+    e.kind = *kind;
+    e.label = ev.StringOr("label", "");
+    e.detail = ev.StringOr("detail", "");
+    if (const json::Value* stats = ev.Find("stats");
+        stats != nullptr && stats->IsObject()) {
+      for (const auto& [name, value] : stats->object) {
+        e.stats[name] = value.int_value;
+      }
+    }
+    if (const json::Value* witness = ev.Find("witness"); witness != nullptr) {
+      ExplainWitness w;
+      if (!ParseWitness(*witness, &w, error)) return std::nullopt;
+      e.witness = std::move(w);
+    }
+    if (const json::Value* instance = ev.Find("instance");
+        instance != nullptr) {
+      if (!ParseFacts(*instance, &e.instance, error)) return std::nullopt;
+    }
+    if (const json::Value* instance2 = ev.Find("instance2");
+        instance2 != nullptr) {
+      if (!ParseFacts(*instance2, &e.instance2, error)) return std::nullopt;
+    }
+    log.Append(std::move(e));
+  }
+  return log;
+}
+
+}  // namespace vqdr::obs

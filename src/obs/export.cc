@@ -1,0 +1,121 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <ostream>
+
+#include "obs/profile.h"
+
+namespace vqdr::obs {
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (the dots of
+// the vqdr scheme, mostly) becomes '_'. The "vqdr_" prefix namespaces the
+// exposition and guarantees a legal leading character.
+std::string PromName(const std::string& name) {
+  std::string out = "vqdr_";
+  for (char c : name) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// HELP line values escape backslash and newline per the exposition format.
+std::string PromHelpEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void AppendUint(std::uint64_t v, std::string* out) {
+  out->append(std::to_string(v));
+}
+
+}  // namespace
+
+std::string ExportPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string prom = PromName(name) + "_total";
+    out += "# HELP " + prom + " " + PromHelpEscape(name) + "\n";
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " ";
+    AppendUint(value, &out);
+    out += "\n";
+  }
+  for (const auto& [name, hs] : snapshot.histograms) {
+    std::string prom = PromName(name);
+    out += "# HELP " + prom + " " + PromHelpEscape(name) + "\n";
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      cumulative += hs.buckets[i];
+      out += prom + "_bucket{le=\"";
+      if (i == kHistogramBuckets - 1) {
+        out += "+Inf";
+      } else {
+        AppendUint(HistogramBucketUpperBound(i), &out);
+      }
+      out += "\"} ";
+      AppendUint(cumulative, &out);
+      out += "\n";
+    }
+    out += prom + "_sum ";
+    AppendUint(hs.sum, &out);
+    out += "\n";
+    out += prom + "_count ";
+    AppendUint(hs.count, &out);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ExportPrometheusText() {
+  return ExportPrometheusText(SnapshotMetrics());
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    internal::AppendJsonString(e.name, &out);
+    out += ",\"cat\":\"vqdr\",\"ph\":\"X\",\"ts\":";
+    AppendUint(e.start_us, &out);
+    out += ",\"dur\":";
+    AppendUint(e.dur_us, &out);
+    out += ",\"pid\":1,\"tid\":";
+    AppendUint(e.tid, &out);
+    out += ",\"args\":{\"depth\":";
+    out += std::to_string(e.depth);
+    if (e.has_arg) {
+      out += ",\"arg\":";
+      out += std::to_string(e.arg);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool ConvertTraceJsonlToChrome(std::istream& in, std::ostream& out,
+                               std::string* error) {
+  std::optional<std::vector<TraceEvent>> events = ParseTraceJsonl(in, error);
+  if (!events.has_value()) return false;
+  out << ChromeTraceJson(*events);
+  return true;
+}
+
+}  // namespace vqdr::obs

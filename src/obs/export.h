@@ -1,0 +1,45 @@
+#ifndef VQDR_OBS_EXPORT_H_
+#define VQDR_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// Export surfaces for external tooling:
+//
+//  * ExportPrometheusText renders a MetricsSnapshot in the Prometheus text
+//    exposition format (version 0.0.4) — counters as `_total` counters,
+//    histograms as cumulative `_bucket{le=...}` series from the fixed log2
+//    buckets plus `_sum`/`_count`. This is the future body of the
+//    `vqdr-serve` /metrics endpoint (ROADMAP item 1).
+//
+//  * ChromeTraceJson / ConvertTraceJsonlToChrome turn completed spans (or a
+//    whole JSONL sink file) into the Chrome trace_event format, loadable in
+//    Perfetto / chrome://tracing, with one track per trace tid.
+
+namespace vqdr::obs {
+
+/// Prometheus text exposition of a snapshot. Metric names are sanitized
+/// (`cq.hom.attempts` -> `vqdr_cq_hom_attempts_total`); each family gets
+/// HELP (carrying the original dotted name) and TYPE lines. Deterministic.
+std::string ExportPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Convenience: snapshots the live registry and exports it.
+std::string ExportPrometheusText();
+
+/// Chrome trace_event JSON for a batch of completed spans: complete ("X")
+/// events with ts/dur in microseconds, one pid, tid taken from the span.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Reads a JSONL sink stream (as written by SetTraceSinkPath) and writes
+/// the Chrome trace_event document. Returns false (with *error set, if
+/// given) on malformed input; nothing is written in that case.
+bool ConvertTraceJsonlToChrome(std::istream& in, std::ostream& out,
+                               std::string* error = nullptr);
+
+}  // namespace vqdr::obs
+
+#endif  // VQDR_OBS_EXPORT_H_

@@ -1,0 +1,222 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace vqdr::obs::json {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Peek(char c) { return pos < text.size() && text[pos] == c; }
+
+  bool Consume(char c) {
+    if (!Peek(c)) return false;
+    ++pos;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return Fail("dangling escape");
+        char esc = text[pos++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return Fail("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            // The obs emitters only \u-escape control characters; decode the
+            // ASCII range and map anything wider to '?' rather than UTF-8.
+            out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(Value* out) {
+    std::size_t start = pos;
+    if (Peek('-')) ++pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    bool integral = true;
+    if (Peek('.')) {
+      integral = false;
+      ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (Peek('e') || Peek('E')) {
+      integral = false;
+      ++pos;
+      if (Peek('+') || Peek('-')) ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos == start || (pos == start + 1 && text[start] == '-')) {
+      return Fail("bad number");
+    }
+    std::string token(text.substr(start, pos - start));
+    out->kind = Value::Kind::kNumber;
+    out->number = std::strtod(token.c_str(), nullptr);
+    if (integral) {
+      out->int_value = std::strtoll(token.c_str(), nullptr, 10);
+      out->is_int = true;
+    } else {
+      out->int_value = static_cast<std::int64_t>(out->number);
+      out->is_int = false;
+    }
+    return true;
+  }
+
+  bool ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos >= text.size()) return Fail("unexpected end of input");
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out->kind = Value::Kind::kObject;
+      SkipWs();
+      if (Consume('}')) return true;
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipWs();
+        if (!Consume(':')) return Fail("expected ':'");
+        Value member;
+        if (!ParseValue(&member, depth + 1)) return false;
+        out->object.emplace_back(std::move(key), std::move(member));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume('}')) return true;
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out->kind = Value::Kind::kArray;
+      SkipWs();
+      if (Consume(']')) return true;
+      while (true) {
+        Value element;
+        if (!ParseValue(&element, depth + 1)) return false;
+        out->array.push_back(std::move(element));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume(']')) return true;
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->kind = Value::Kind::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == 't') {
+      if (!ConsumeLiteral("true")) return Fail("bad literal");
+      out->kind = Value::Kind::kBool;
+      out->bool_value = true;
+      return true;
+    }
+    if (c == 'f') {
+      if (!ConsumeLiteral("false")) return Fail("bad literal");
+      out->kind = Value::Kind::kBool;
+      out->bool_value = false;
+      return true;
+    }
+    if (c == 'n') {
+      if (!ConsumeLiteral("null")) return Fail("bad literal");
+      out->kind = Value::Kind::kNull;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+};
+
+}  // namespace
+
+const Value* Value::Find(std::string_view key) const {
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::int64_t Value::IntOr(std::string_view key, std::int64_t fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr && v->IsNumber() ? v->int_value : fallback;
+}
+
+std::string Value::StringOr(std::string_view key, std::string fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr && v->IsString() ? v->string_value : fallback;
+}
+
+std::optional<Value> Parse(std::string_view text, std::string* error) {
+  Parser parser;
+  parser.text = text;
+  Value result;
+  if (!parser.ParseValue(&result, 0)) {
+    if (error != nullptr) *error = parser.error;
+    return std::nullopt;
+  }
+  parser.SkipWs();
+  if (parser.pos != text.size()) {
+    if (error != nullptr) *error = "trailing garbage after document";
+    return std::nullopt;
+  }
+  return result;
+}
+
+}  // namespace vqdr::obs::json

@@ -1,0 +1,61 @@
+#ifndef VQDR_OBS_JSON_H_
+#define VQDR_OBS_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+// A minimal JSON reader for the observability layer's own artifacts: the
+// JSONL trace sink, the explain-log round trip, and the Chrome-trace
+// converter all parse documents this repository itself emitted. It accepts
+// standard JSON (RFC 8259) with two deliberate simplifications: \uXXXX
+// escapes decode only the ASCII range (the emitters never produce more),
+// and numbers keep an exact int64 when they have no fraction/exponent.
+//
+// This is an internal tool, not a general-purpose parser — no streaming, no
+// comments, inputs are trusted to be small (traces, metrics, explain logs).
+
+namespace vqdr::obs::json {
+
+/// A parsed JSON value. Object member order is preserved as emitted.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  /// Numbers carry both views; is_int says whether int_value is exact.
+  double number = 0;
+  std::int64_t int_value = 0;
+  bool is_int = false;
+  std::string string_value;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool IsNull() const { return kind == Kind::kNull; }
+  bool IsBool() const { return kind == Kind::kBool; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsObject() const { return kind == Kind::kObject; }
+
+  /// First member with the given key, or nullptr. Objects the obs layer
+  /// emits never repeat keys.
+  const Value* Find(std::string_view key) const;
+
+  /// Convenience lookups with defaults; wrong-kind members yield the
+  /// default rather than aborting (callers validate shape separately).
+  std::int64_t IntOr(std::string_view key, std::int64_t fallback) const;
+  std::string StringOr(std::string_view key, std::string fallback) const;
+};
+
+/// Parses one JSON document. Returns nullopt (with *error set, if given) on
+/// malformed input or trailing garbage. Nesting is capped at 64 levels.
+std::optional<Value> Parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace vqdr::obs::json
+
+#endif  // VQDR_OBS_JSON_H_

@@ -33,6 +33,7 @@ void AppendUint(std::uint64_t v, std::string* out) {
 void Histogram::Record(std::uint64_t v) {
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[HistogramBucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
   std::uint64_t cur = min_.load(std::memory_order_relaxed);
   while (v < cur &&
          !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
@@ -48,6 +49,27 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
   min_.store(UINT64_MAX, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramSnapshot::ApproxQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-th value, 1-based, rounded up so q=0.5 of 3 values is the
+  // 2nd and q=1 is the last.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      std::uint64_t bound = HistogramBucketUpperBound(i);
+      return bound == UINT64_MAX ? max : (bound < max ? bound : max);
+    }
+  }
+  return max;
 }
 
 Counter& GetCounter(std::string_view name) {
@@ -86,6 +108,9 @@ MetricsSnapshot SnapshotMetrics() {
       hs.sum = h->sum();
       hs.min = h->min();
       hs.max = h->max();
+      for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+        hs.buckets[i] = h->bucket(i);
+      }
     }
     snap.histograms.emplace(name, hs);
   }
@@ -110,9 +135,15 @@ MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before) {
       d.count = hs.count - prev_count;
       d.sum = hs.sum - prev_sum;
       // min/max cannot be windowed from endpoints; report the cumulative
-      // extremes, which still bound the window.
+      // extremes, which still bound the window. Buckets are monotone
+      // per-bucket counts, so they window exactly.
       d.min = hs.min;
       d.max = hs.max;
+      for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+        std::uint64_t prev_bucket =
+            it == before.histograms.end() ? 0 : it->second.buckets[i];
+        d.buckets[i] = hs.buckets[i] - prev_bucket;
+      }
       delta.histograms.emplace(name, d);
     }
   }
@@ -145,6 +176,10 @@ std::string MetricsSnapshot::ToString() const {
     AppendUint(hs.min, &out);
     out += ",max=";
     AppendUint(hs.max, &out);
+    out += ",p50=";
+    AppendUint(hs.ApproxQuantile(0.5), &out);
+    out += ",p95=";
+    AppendUint(hs.ApproxQuantile(0.95), &out);
     out += "}";
   }
   return out;
@@ -174,7 +209,12 @@ std::string MetricsSnapshot::ToJson() const {
     AppendUint(hs.min, &out);
     out += ",\"max\":";
     AppendUint(hs.max, &out);
-    out += "}";
+    out += ",\"buckets\":[";
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (i != 0) out.push_back(',');
+      AppendUint(hs.buckets[i], &out);
+    }
+    out += "]}";
   }
   out += "}}";
   return out;

@@ -1,7 +1,10 @@
 #ifndef VQDR_OBS_METRICS_H_
 #define VQDR_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -41,9 +44,30 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// A size/duration distribution: count, sum, min, max. Enough to read tail
-/// behaviour of chase instance sizes and search fan-out without bucket
-/// bookkeeping on the hot path.
+/// Number of fixed log2 histogram buckets. Bucket 0 holds the value 0,
+/// bucket i (1..30) holds values in [2^(i-1), 2^i - 1], bucket 31 is the
+/// overflow tail (v >= 2^30). Fixed power-of-two boundaries keep Record at
+/// one extra relaxed add (no per-histogram configuration) while covering
+/// every tally the engines emit — instance sizes, chase levels, durations.
+inline constexpr std::size_t kHistogramBuckets = 32;
+
+/// Maps a recorded value to its log2 bucket index.
+inline std::size_t HistogramBucketIndex(std::uint64_t v) {
+  if (v == 0) return 0;
+  std::size_t width = static_cast<std::size_t>(std::bit_width(v));
+  return width < kHistogramBuckets - 1 ? width : kHistogramBuckets - 1;
+}
+
+/// Inclusive upper bound of bucket `i` (2^i - 1), with the overflow bucket
+/// reported as UINT64_MAX. Matches the Prometheus `le` boundary per bucket.
+inline std::uint64_t HistogramBucketUpperBound(std::size_t i) {
+  if (i >= kHistogramBuckets - 1) return UINT64_MAX;
+  return (std::uint64_t{1} << i) - 1;
+}
+
+/// A size/duration distribution: count, sum, min, max, and a fixed array of
+/// log2 buckets for quantile export. Everything on the record path is a
+/// relaxed atomic; bucket selection is one bit_width.
 class Histogram {
  public:
   void Record(std::uint64_t v);
@@ -53,6 +77,9 @@ class Histogram {
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   std::uint64_t min() const { return min_.load(std::memory_order_relaxed); }
   std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
   void Reset();
 
   Histogram() = default;
@@ -64,6 +91,7 @@ class Histogram {
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> min_{UINT64_MAX};
   std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
 };
 
 /// Returns the process-wide counter registered under `name`, creating it on
@@ -80,6 +108,13 @@ struct HistogramSnapshot {
   std::uint64_t sum = 0;
   std::uint64_t min = 0;
   std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  /// Upper bound of the smallest bucket whose cumulative count reaches
+  /// quantile `q` (clamped to [0,1]) — a power-of-two-granular estimate,
+  /// exact enough to read tail behaviour. Returns 0 when count is 0; the
+  /// overflow bucket reports max rather than UINT64_MAX.
+  std::uint64_t ApproxQuantile(double q) const;
 };
 
 /// A point-in-time copy of every registered metric, or (via SnapshotDelta) a
@@ -92,10 +127,11 @@ struct MetricsSnapshot {
   bool empty() const { return counters.empty() && histograms.empty(); }
 
   /// "name=value name=value ..." with histograms rendered as
-  /// "name{count,sum,min,max}". Deterministic (map order).
+  /// "name{count,sum,min,max,p50,p95}" (quantiles from the log2 buckets).
+  /// Deterministic (map order).
   std::string ToString() const;
 
-  /// {"counters":{...},"histograms":{"name":{"count":..,...},...}}
+  /// {"counters":{...},"histograms":{"name":{"count":..,..,"buckets":[..]},..}}
   std::string ToJson() const;
 };
 

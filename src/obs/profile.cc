@@ -1,0 +1,181 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace vqdr::obs {
+
+namespace {
+
+// Aggregation tree under construction: children keyed by name so identical
+// name-paths fold together across occurrences and threads.
+struct Agg {
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::map<std::string, std::unique_ptr<Agg>> children;
+
+  Agg* Child(const std::string& name) {
+    std::unique_ptr<Agg>& slot = children[name];
+    if (!slot) slot = std::make_unique<Agg>();
+    return slot.get();
+  }
+};
+
+ProfileNode Finalize(const std::string& name, const Agg& agg) {
+  ProfileNode node;
+  node.name = name;
+  node.count = agg.count;
+  node.total_us = agg.total_us;
+  std::uint64_t child_total = 0;
+  for (const auto& [child_name, child] : agg.children) {
+    node.children.push_back(Finalize(child_name, *child));
+    child_total += child->total_us;
+  }
+  // Clock granularity can make children's sum exceed the parent; clamp.
+  node.self_us = agg.total_us > child_total ? agg.total_us - child_total : 0;
+  std::sort(node.children.begin(), node.children.end(),
+            [](const ProfileNode& a, const ProfileNode& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.name < b.name;
+            });
+  return node;
+}
+
+void RenderNode(const ProfileNode& node, int indent, std::string* out) {
+  std::string label(static_cast<std::size_t>(indent) * 2, ' ');
+  label += node.name;
+  if (label.size() < 44) label.resize(44, ' ');
+  char line[128];
+  std::snprintf(line, sizeof(line), " %10llu %12llu %12llu\n",
+                static_cast<unsigned long long>(node.count),
+                static_cast<unsigned long long>(node.total_us),
+                static_cast<unsigned long long>(node.self_us));
+  *out += label;
+  *out += line;
+  for (const ProfileNode& child : node.children) {
+    RenderNode(child, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+Profile BuildProfile(const std::vector<TraceEvent>& events) {
+  Profile profile;
+  profile.span_count = events.size();
+
+  // Split by thread: depth is a per-thread notion, so nesting can only be
+  // reconstructed within one tid.
+  std::map<std::uint32_t, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& e : events) by_tid[e.tid].push_back(&e);
+
+  Agg root;
+  for (auto& [tid, spans] : by_tid) {
+    // Parents start no later than their children; at equal start the
+    // shallower span opened first. This ordering makes a single stack scan
+    // sufficient regardless of how completion order scrambled the input.
+    std::sort(spans.begin(), spans.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                if (a->start_us != b->start_us) {
+                  return a->start_us < b->start_us;
+                }
+                return a->depth < b->depth;
+              });
+
+    struct Open {
+      Agg* node;
+      std::uint64_t end_us;
+      int depth;
+    };
+    std::vector<Open> stack;
+    for (const TraceEvent* e : spans) {
+      std::uint64_t end_us = e->start_us + e->dur_us;
+      while (!stack.empty() && (stack.back().depth >= e->depth ||
+                                stack.back().end_us < e->start_us)) {
+        stack.pop_back();
+      }
+      Agg* parent;
+      if (!stack.empty() && stack.back().depth == e->depth - 1) {
+        parent = stack.back().node;
+      } else {
+        // Top-level span, or the parent is missing from the stream (ring
+        // overflow, truncated sink): re-root rather than drop.
+        parent = &root;
+        if (e->depth != 0) ++profile.orphans;
+      }
+      Agg* node = parent->Child(e->name);
+      node->count += 1;
+      node->total_us += e->dur_us;
+      stack.push_back(Open{node, end_us, e->depth});
+    }
+  }
+
+  for (const auto& [name, agg] : root.children) {
+    profile.roots.push_back(Finalize(name, *agg));
+    profile.total_us += agg->total_us;
+  }
+  std::sort(profile.roots.begin(), profile.roots.end(),
+            [](const ProfileNode& a, const ProfileNode& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.name < b.name;
+            });
+  return profile;
+}
+
+std::string RenderProfileText(const Profile& profile) {
+  std::string out =
+      "span                                              count     total_us"
+      "      self_us\n";
+  for (const ProfileNode& node : profile.roots) {
+    RenderNode(node, 0, &out);
+  }
+  std::ostringstream footer;
+  footer << "-- " << profile.span_count << " spans, " << profile.total_us
+         << " us total";
+  if (profile.orphans > 0) {
+    footer << ", " << profile.orphans << " orphaned (re-rooted)";
+  }
+  footer << "\n";
+  out += footer.str();
+  return out;
+}
+
+std::optional<std::vector<TraceEvent>> ParseTraceJsonl(std::istream& in,
+                                                       std::string* error) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string parse_error;
+    std::optional<json::Value> v = json::Parse(line, &parse_error);
+    if (!v.has_value() || !v->IsObject()) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": " +
+                 (parse_error.empty() ? "not a JSON object" : parse_error);
+      }
+      return std::nullopt;
+    }
+    TraceEvent e;
+    e.name = v->StringOr("name", "");
+    if (const json::Value* arg = v->Find("arg");
+        arg != nullptr && arg->IsNumber()) {
+      e.arg = arg->int_value;
+      e.has_arg = true;
+    }
+    e.start_us = static_cast<std::uint64_t>(v->IntOr("start_us", 0));
+    e.dur_us = static_cast<std::uint64_t>(v->IntOr("dur_us", 0));
+    e.tid = static_cast<std::uint32_t>(v->IntOr("tid", 0));
+    e.depth = static_cast<int>(v->IntOr("depth", 0));
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+}  // namespace vqdr::obs

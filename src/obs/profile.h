@@ -1,0 +1,64 @@
+#ifndef VQDR_OBS_PROFILE_H_
+#define VQDR_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+// Span-tree profiler: folds completed TraceEvents (from the in-process ring
+// or a JSONL sink) into an aggregated call tree. Spans are recorded on
+// *completion*, so the input stream is ordered by end time, not call order;
+// reconstruction re-sorts per thread by start time and re-nests on
+// (tid, depth, interval containment). Identical name-paths aggregate — the
+// tree answers "how many times did cq.match run under chase.level, and how
+// much of chase.level's time was its own" rather than listing every span.
+
+namespace vqdr::obs {
+
+/// One aggregated node: every span with this name at this path position.
+struct ProfileNode {
+  std::string name;
+  /// Number of spans folded into this node.
+  std::uint64_t count = 0;
+  /// Wall microseconds across all occurrences, children included.
+  std::uint64_t total_us = 0;
+  /// total_us minus the children's total_us (clamped at 0).
+  std::uint64_t self_us = 0;
+  /// Sorted by total_us descending (name ascending on ties).
+  std::vector<ProfileNode> children;
+};
+
+/// An aggregated span tree. Threads are merged: a chase.level span from
+/// worker 3 and worker 5 land in the same node when their paths match.
+struct Profile {
+  std::vector<ProfileNode> roots;
+  /// Spans folded in (== input size).
+  std::uint64_t span_count = 0;
+  /// Sum of root total_us.
+  std::uint64_t total_us = 0;
+  /// Spans whose parent could not be resolved (ring overflow dropped it, or
+  /// the parent had not completed when the stream was cut). They are
+  /// re-rooted rather than dropped.
+  std::uint64_t orphans = 0;
+};
+
+/// Builds the aggregated tree from completed spans in any order.
+Profile BuildProfile(const std::vector<TraceEvent>& events);
+
+/// Renders a fixed-column indented text tree, largest subtree first.
+std::string RenderProfileText(const Profile& profile);
+
+/// Parses a JSONL trace sink (one span object per line, as written by
+/// SetTraceSinkPath) back into events. Blank lines are skipped. Returns
+/// nullopt (with *error set, if given) on a malformed line.
+std::optional<std::vector<TraceEvent>> ParseTraceJsonl(std::istream& in,
+                                                       std::string* error =
+                                                           nullptr);
+
+}  // namespace vqdr::obs
+
+#endif  // VQDR_OBS_PROFILE_H_

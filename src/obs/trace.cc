@@ -51,6 +51,10 @@ std::uint64_t MicrosSinceEpochLocked(TraceState& s) {
 
 thread_local int t_depth = 0;
 
+// Dense per-thread ids for trace grouping; 0 means "not assigned yet".
+std::atomic<std::uint32_t> g_next_tid{1};
+thread_local std::uint32_t t_tid = 0;
+
 void WriteSinkLine(TraceState& s, const TraceEvent& e) {
   std::string line = "{\"name\":";
   internal::AppendJsonString(e.name, &line);
@@ -62,6 +66,8 @@ void WriteSinkLine(TraceState& s, const TraceEvent& e) {
   line += std::to_string(e.start_us);
   line += ",\"dur_us\":";
   line += std::to_string(e.dur_us);
+  line += ",\"tid\":";
+  line += std::to_string(e.tid);
   line += ",\"depth\":";
   line += std::to_string(e.depth);
   line += "}\n";
@@ -107,6 +113,11 @@ void CloseTraceSink() {
   }
 }
 
+std::uint32_t CurrentTraceTid() {
+  if (t_tid == 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
+
 std::vector<TraceEvent> DrainTraceEvents() {
   TraceState& s = TraceState::Get();
   std::lock_guard<std::mutex> lock(s.mu);
@@ -142,6 +153,7 @@ TraceSpan::~TraceSpan() {
   e.has_arg = has_arg_;
   e.start_us = start_us_;
   e.dur_us = MicrosSinceEpochLocked(s) - start_us_;
+  e.tid = CurrentTraceTid();
   e.depth = depth_;
   if (s.ring.size() >= kTraceRingCapacity) s.ring.pop_front();
   if (s.sink_open) WriteSinkLine(s, e);

@@ -14,10 +14,11 @@
 // Completed spans land in a fixed-size in-process ring buffer and, when a
 // JSONL sink is configured, are appended to it as one JSON object per line:
 //
-//   {"name":"chase.level","arg":2,"start_us":123,"dur_us":45,"depth":1}
+//   {"name":"chase.level","arg":2,"start_us":123,"dur_us":45,"tid":1,"depth":1}
 //
 // Spans are written on *completion*, so inner spans appear before the outer
-// span that contains them — readers reconstruct nesting from depth.
+// span that contains them — readers reconstruct nesting from (tid, depth);
+// depth alone is ambiguous once `par` workers interleave in the merged ring.
 //
 // The sink is selected with the VQDR_TRACE environment variable
 // (VQDR_TRACE=/tmp/trace.jsonl ./determinacy_tool ...) or programmatically
@@ -34,6 +35,10 @@ struct TraceEvent {
   /// Microseconds since the process trace epoch (first tracing activity).
   std::uint64_t start_us = 0;
   std::uint64_t dur_us = 0;
+  /// Stable per-thread id, assigned 1,2,... the first time a thread records
+  /// a span. Not the OS thread id: small, dense, and deterministic enough
+  /// for profile/Chrome-trace grouping.
+  std::uint32_t tid = 0;
   /// 0 for top-level spans, +1 per enclosing live span (per thread).
   int depth = 0;
 };
@@ -59,6 +64,9 @@ void CloseTraceSink();
 std::vector<TraceEvent> DrainTraceEvents();
 
 inline constexpr std::size_t kTraceRingCapacity = 4096;
+
+/// The calling thread's trace tid, assigning one if it has none yet.
+std::uint32_t CurrentTraceTid();
 
 /// RAII span. Use through VQDR_TRACE_SPAN; construct directly only when the
 /// macro seam is unavailable. `name` must outlive the span (string literals).

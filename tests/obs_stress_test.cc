@@ -1,0 +1,152 @@
+// Concurrency battery for the observability surfaces (run under
+// ThreadSanitizer by the CI tsan job via the PAR label): drains the trace
+// ring, snapshots metrics, and exports Prometheus text WHILE the parallel
+// engines hammer the same structures from worker threads, at thread counts
+// 2 and 8. The assertions are deliberately weak — the verdicts must stay
+// correct and the drained events well-formed — because the point is the
+// data-race-freedom tsan checks, not the values.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/finite_search.h"
+#include "cq/containment.h"
+#include "cq/parser.h"
+#include "obs/explain.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace vqdr {
+namespace {
+
+class ObsStressFixture : public ::testing::TestWithParam<int> {
+ protected:
+  ConjunctiveQuery Cq(const std::string& text) {
+    auto q = ParseCq(text, pool_);
+    EXPECT_TRUE(q.ok()) << q.status().message();
+    return q.value();
+  }
+
+  ViewSet CqViews(const std::vector<std::string>& defs) {
+    ViewSet views;
+    for (const std::string& def : defs) {
+      ConjunctiveQuery q = Cq(def);
+      views.Add(q.head_name(), Query::FromCq(q));
+    }
+    return views;
+  }
+
+  NamePool pool_;
+};
+
+TEST_P(ObsStressFixture, DrainingTracesWhileParallelSearchRuns) {
+  const int threads = GetParam();
+  obs::EnableTracing();
+  obs::DrainTraceEvents();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> drained{0};
+  std::thread reader([&] {
+    // Continuously drain the ring and fold whatever lands into a profile;
+    // under tsan this races against every worker's span completion unless
+    // the ring is properly synchronized.
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<obs::TraceEvent> events = obs::DrainTraceEvents();
+      drained.fetch_add(events.size(), std::memory_order_relaxed);
+      obs::Profile profile = obs::BuildProfile(events);
+      ASSERT_EQ(profile.span_count, events.size());
+      std::this_thread::yield();
+    }
+    drained.fetch_add(obs::DrainTraceEvents().size(),
+                      std::memory_order_relaxed);
+  });
+
+  // Projection views lose the edge target, so a refuting pair exists at
+  // domain size 2 (same test case FiniteSearchRefutesNonDeterminedCase pins).
+  ViewSet views = CqViews({"V(x) :- E(x, y)"});
+  ConjunctiveQuery q = Cq("Q(x, y) :- E(x, y)");
+  EnumerationOptions options;
+  options.domain_size = 2;
+  options.threads = threads;
+  DeterminacySearchResult result = SearchDeterminacyCounterexample(
+      views, Query::FromCq(q), Schema{{"E", 2}}, options);
+
+  done.store(true, std::memory_order_release);
+  reader.join();
+  obs::DisableTracing();
+  obs::DrainTraceEvents();
+
+  // The verdict must be untouched by the concurrent drains.
+  EXPECT_EQ(result.verdict, SearchVerdict::kCounterexampleFound);
+}
+
+TEST_P(ObsStressFixture, SnapshottingMetricsWhileParallelSweepRecords) {
+  const int threads = GetParam();
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    obs::MetricsSnapshot base = obs::SnapshotMetrics();
+    while (!done.load(std::memory_order_acquire)) {
+      obs::MetricsSnapshot delta = obs::SnapshotDelta(base);
+      std::string text = obs::ExportPrometheusText(delta);
+      // Histogram invariant under concurrent Record(): the windowed bucket
+      // sum never exceeds the windowed count... but relaxed per-bucket
+      // increments can lag the count load, so only sanity-check the shape.
+      for (const auto& [name, hs] : delta.histograms) {
+        std::uint64_t bucket_sum = 0;
+        for (std::uint64_t b : hs.buckets) bucket_sum += b;
+        EXPECT_LE(hs.min, hs.max) << name;
+        (void)bucket_sum;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  ConjunctiveQuery left = Cq("Q(x, y) :- E(x, y), x != y");
+  ConjunctiveQuery right = Cq("Q(x, y) :- E(x, y)");
+  CqContainmentOptions options;
+  options.threads = threads;
+  for (int i = 0; i < 3; ++i) {
+    VQDR_HISTOGRAM_RECORD("test.stress.hist", 1u << (i % 20));
+    EXPECT_TRUE(CqContainedIn(left, right, options));
+  }
+
+  done.store(true, std::memory_order_release);
+  reader.join();
+}
+
+TEST_P(ObsStressFixture, SharedExplainLogSurvivesParallelSweep) {
+  const int threads = GetParam();
+  // One ExplainLog shared by every worker of the pattern sweep: appends must
+  // be internally synchronized, and every recorded witness must replay.
+  ConjunctiveQuery left = Cq("Q(x, y, z) :- E(x, y), E(y, z), x != z");
+  ConjunctiveQuery right = Cq("Q(x, y, z) :- E(x, y), E(y, z)");
+
+  obs::ExplainLog log;
+  CqContainmentOptions options;
+  options.threads = threads;
+  options.explain = &log;
+  EXPECT_TRUE(CqContainedIn(left, right, options));
+
+  if (!obs::kExplainEnabled) return;
+  int witnesses = 0;
+  for (const obs::ExplainEvent& e : log.events()) {
+    if (e.kind != obs::ExplainKind::kWitness) continue;
+    ++witnesses;
+    std::string error;
+    EXPECT_TRUE(e.witness.has_value() && e.witness->Verify(&error)) << error;
+  }
+  EXPECT_GE(witnesses, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ObsStressFixture, ::testing::Values(2, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace vqdr
