@@ -21,6 +21,12 @@
 //                    aggregated span-tree profile afterwards.
 //   --metrics        print the battery's counters/histograms in Prometheus
 //                    text exposition format afterwards.
+//   --ops            print the live-telemetry operation table afterwards
+//                    (DESIGN.md §11): the battery's registry entry with its
+//                    phase, heartbeats, budget state, and per-op counters.
+//                    For in-flight inspection of a long run, use
+//                    VQDR_OPS_DUMP_MS=<n> (periodic JSON dump to stderr) or
+//                    VQDR_WATCHDOG_MS=<n> (stall reports) instead.
 
 #include <fstream>
 #include <iostream>
@@ -31,6 +37,7 @@
 #include "cq/parser.h"
 #include "obs/export.h"
 #include "obs/profile.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 
 using namespace vqdr;
@@ -49,6 +56,7 @@ int main(int argc, char** argv) {
   bool want_explain = false;
   bool want_profile = false;
   bool want_metrics = false;
+  bool want_ops = false;
   std::string scenario_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -57,12 +65,14 @@ int main(int argc, char** argv) {
       want_profile = true;
     } else if (arg == "--metrics") {
       want_metrics = true;
+    } else if (arg == "--ops") {
+      want_ops = true;
     } else if (arg == "--explain" || StartsWith(arg, "--explain=")) {
       want_explain = true;
       explain_path = arg == "--explain" ? "-" : std::string(arg.substr(10));
     } else if (StartsWith(arg, "--")) {
       return Fail("unknown flag " + std::string(arg) +
-                  " (known: --explain[=PATH], --profile, --metrics)");
+                  " (known: --explain[=PATH], --profile, --metrics, --ops)");
     } else if (scenario_path.empty()) {
       scenario_path = std::string(arg);
     } else {
@@ -139,6 +149,9 @@ int main(int argc, char** argv) {
     obs::EnableTracing();
   }
   obs::MetricsSnapshot metrics_before = obs::SnapshotMetrics();
+  // Retain the battery's registry entry after it completes so --ops has
+  // something to show for a finished run.
+  if (want_ops) obs::SetKeepCompletedOps(16);
 
   DeterminacyAnalysisOptions opts;
   opts.search.domain_size = bound;
@@ -186,6 +199,15 @@ int main(int argc, char** argv) {
     std::cout << "\n[prometheus]\n"
               << obs::ExportPrometheusText(
                      obs::SnapshotDelta(metrics_before));
+  }
+
+  if (want_ops) {
+    // Completed ops first (the battery just finished), then anything still
+    // in flight (e.g. a background dump started via env).
+    std::vector<obs::OpSnapshot> ops = obs::RecentCompletedOps();
+    std::vector<obs::OpSnapshot> live = obs::SnapshotOps();
+    ops.insert(ops.end(), live.begin(), live.end());
+    std::cout << "\n[ops]\n" << obs::RenderOpsText(ops);
   }
   return 0;
 }

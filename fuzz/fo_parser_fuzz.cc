@@ -1,0 +1,55 @@
+// libFuzzer harness for the first-order parsers (fo/parser.h): ParseFo and
+// ParseFoQuery must reject arbitrary bytes with a Status, never a crash.
+// Accepted formulas round-trip through Formula::ToString — the printed form
+// must re-parse (the printer emits fully-parenthesized text, so equality of
+// a second print is also required).
+//
+// See cq_parser_fuzz.cc for how the two build modes work.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fo/formula.h"
+#include "fo/parser.h"
+
+namespace {
+
+// The FO grammar is recursive-descent: deeply nested input is legal but a
+// stack hazard at fuzzer-scale sizes, so bound the input like the CQ
+// harness does.
+constexpr std::size_t kMaxInput = 1 << 12;
+
+void FuzzFo(std::string_view text) {
+  vqdr::NamePool pool;
+  vqdr::StatusOr<vqdr::FoPtr> f = vqdr::ParseFo(text, pool);
+  if (!f.ok()) return;
+  std::string printed = f.value()->ToString();
+  vqdr::StatusOr<vqdr::FoPtr> again = vqdr::ParseFo(printed, pool);
+  if (!again.ok()) __builtin_trap();  // printer emitted unparseable text
+  if (again.value()->ToString() != printed) __builtin_trap();
+}
+
+void FuzzFoQuery(std::string_view text) {
+  vqdr::NamePool pool;
+  vqdr::StatusOr<vqdr::FoQuery> q = vqdr::ParseFoQuery(text, pool);
+  if (!q.ok()) return;
+  std::string printed = q.value().ToString();
+  vqdr::StatusOr<vqdr::FoQuery> again = vqdr::ParseFoQuery(printed, pool);
+  if (!again.ok()) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0 || size > kMaxInput) return 0;
+  std::string_view text(reinterpret_cast<const char*>(data + 1), size - 1);
+  if (data[0] % 2 == 0) {
+    FuzzFo(text);
+  } else {
+    FuzzFoQuery(text);
+  }
+  return 0;
+}

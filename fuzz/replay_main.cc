@@ -1,0 +1,63 @@
+// Standalone driver for the fuzz harnesses on toolchains without libFuzzer
+// (the CI corpus-replay job, plain g++ builds): feeds every file argument —
+// or every regular file under a directory argument — through
+// LLVMFuzzerTestOneInput exactly as libFuzzer would. Exit 0 means every
+// input was survived; a harness trap/crash aborts the process, which is the
+// failure signal.
+//
+//   fuzz_cq_replay fuzz/corpus/cq
+//   fuzz_fo_replay crash-1234 fuzz/corpus/fo
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "replay: cannot open %s\n", path.string().c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::filesystem::path p(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(p);
+    }
+  }
+  int failures = 0;
+  for (const std::filesystem::path& p : inputs) {
+    if (!ReplayFile(p)) ++failures;
+  }
+  std::fprintf(stderr, "replay: %zu inputs, %d unreadable\n", inputs.size(),
+               failures);
+  return failures == 0 ? 0 : 2;
+}

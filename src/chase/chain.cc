@@ -5,6 +5,7 @@
 
 #include "base/check.h"
 #include "chase/view_inverse.h"
+#include "obs/context.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -75,6 +76,7 @@ ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
 ChaseChain BuildChaseChain(const ViewSet& views, const ConjunctiveQuery& q,
                            const ChaseChainOptions& options,
                            ValueFactory& factory) {
+  obs::OpScope op(obs::OpKind::kChase, "chase.chain", options.budget);
 #ifndef VQDR_MEMO_DISABLED
   if (memo::ResolveUse(options.memo)) {
     VQDR_TRACE_SPAN("memo.chase.chain");

@@ -5,6 +5,7 @@
 #include "cq/canonical.h"
 #include "cq/explain_bridge.h"
 #include "cq/matcher.h"
+#include "obs/context.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -39,6 +40,9 @@ void RecordDeterminacyMemoProbe(obs::ExplainLog* log, bool hit) {
 UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacy(
     const ViewSet& views, const ConjunctiveQuery& q, guard::Budget* budget,
     const memo::MemoOptions& memo, obs::ExplainLog* explain) {
+  // No-op when already inside a battery/batch op; top-level direct calls
+  // get their own registry entry.
+  obs::OpScope op(obs::OpKind::kDecide, "determinacy.decide", budget);
 #ifndef VQDR_MEMO_DISABLED
   if (memo::ResolveUse(memo)) {
     VQDR_TRACE_SPAN("memo.determinacy");

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/context.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 
@@ -23,6 +24,7 @@ std::vector<UnrestrictedDeterminacyResult> DecideUnrestrictedDeterminacyBatch(
 DeterminacyBatchResult DecideUnrestrictedDeterminacyBatchGoverned(
     const std::vector<DeterminacyBatchItem>& items, int threads,
     guard::Budget* budget, const memo::MemoOptions& memo) {
+  obs::OpScope op(obs::OpKind::kBatch, "determinacy.batch", budget);
   VQDR_TRACE_SPAN("determinacy.batch");
   DeterminacyBatchResult batch;
   batch.results.resize(items.size());

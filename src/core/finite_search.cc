@@ -7,6 +7,7 @@
 
 #include "cq/explain_bridge.h"
 #include "guard/fault.h"
+#include "obs/context.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -54,7 +55,7 @@ DeterminacySearchResult SearchDeterminacyCounterexampleSerial(
     const EnumerationOptions& options) {
   DeterminacySearchResult result;
 
-  obs::Counter& instances = obs::GetCounter("search.instances");
+  obs::CounterSite instances = obs::GetCounterSite("search.instances");
   obs::ProgressTicker ticker("search.instances", kProgressStride,
                              options.max_instances);
 
@@ -156,7 +157,7 @@ DeterminacySearchResult SearchDeterminacyCounterexampleParallel(
   par::FirstHit hint;
   par::OpContext op("search.instances", options.max_instances,
                     kProgressStride, options.budget);
-  obs::Counter& instances = obs::GetCounter("search.instances");
+  obs::CounterSite instances = obs::GetCounterSite("search.instances");
 
   std::uint64_t pool_errors = 0;
   {
@@ -291,7 +292,7 @@ MonotonicitySearchResult SearchMonotonicityViolationSerial(
     const EnumerationOptions& options) {
   MonotonicitySearchResult result;
 
-  obs::Counter& instances = obs::GetCounter("search.mono.instances");
+  obs::CounterSite instances = obs::GetCounterSite("search.mono.instances");
   obs::ProgressTicker ticker("search.mono.instances", kProgressStride,
                              options.max_instances);
   std::uint64_t examined = 0;
@@ -326,7 +327,7 @@ MonotonicitySearchResult SearchMonotonicityViolationSerial(
   }
   result.instances_examined = examined;
 
-  obs::Counter& pairs = obs::GetCounter("search.mono.pairs");
+  obs::CounterSite pairs = obs::GetCounterSite("search.mono.pairs");
   for (const Entry& a : entries) {
     // One budget step per row: a row is O(entries) subset tests, so the
     // quadratic phase stays governable without per-pair overhead.
@@ -336,11 +337,16 @@ MonotonicitySearchResult SearchMonotonicityViolationSerial(
       result.outcome = check;
       return result;
     }
+    // Tally the row locally and flush once: a row is O(entries) qualifying
+    // pairs, and per-pair counter traffic (global + per-op mirror) is
+    // measurable on the hot path.
+    std::uint64_t row_pairs = 0;
     for (const Entry& b : entries) {
       if (&a == &b) continue;
       if (!a.image.IsSubInstanceOf(b.image)) continue;
-      pairs.Increment();
+      ++row_pairs;
       if (!a.answer.IsSubsetOf(b.answer)) {
+        pairs.Add(row_pairs);
         VQDR_COUNTER_INC("search.mono.violations");
         result.verdict = SearchVerdict::kCounterexampleFound;
         result.violation =
@@ -348,6 +354,7 @@ MonotonicitySearchResult SearchMonotonicityViolationSerial(
         return result;
       }
     }
+    if (row_pairs != 0) pairs.Add(row_pairs);
   }
   if (!outcome.complete || cancelled) {
     result.verdict = SearchVerdict::kBudgetExhausted;
@@ -386,7 +393,7 @@ MonotonicitySearchResult SearchMonotonicityViolationParallel(
   std::vector<EntryChunk> entry_chunks(plan.num_chunks);
   par::OpContext op("search.mono.instances", options.max_instances,
                     kProgressStride, options.budget);
-  obs::Counter& instances = obs::GetCounter("search.mono.instances");
+  obs::CounterSite instances = obs::GetCounterSite("search.mono.instances");
 
   par::ParallelForChunks(pool, plan.num_chunks, [&](std::uint64_t c) {
     if (op.cancelled()) return;
@@ -447,7 +454,7 @@ MonotonicitySearchResult SearchMonotonicityViolationParallel(
   };
   std::vector<RowHit> row_hits(row_plan.num_chunks);
   par::FirstHit row_hint;
-  obs::Counter& pairs = obs::GetCounter("search.mono.pairs");
+  obs::CounterSite pairs = obs::GetCounterSite("search.mono.pairs");
 
   par::ParallelForChunks(pool, row_plan.num_chunks, [&](std::uint64_t c) {
     const std::uint64_t row_begin = row_plan.Begin(c);
@@ -568,6 +575,7 @@ void RecordSearchOutcome(obs::ExplainLog* log, const char* label,
 DeterminacySearchResult SearchDeterminacyCounterexample(
     const ViewSet& views, const Query& q, const Schema& base,
     const EnumerationOptions& options) {
+  obs::OpScope op(obs::OpKind::kSearch, "search.determinacy", options.budget);
   VQDR_TRACE_SPAN("search.determinacy");
   const int threads = ResolveThreads(options);
   DeterminacySearchResult result;
@@ -598,6 +606,8 @@ DeterminacySearchResult SearchDeterminacyCounterexample(
 MonotonicitySearchResult SearchMonotonicityViolation(
     const ViewSet& views, const Query& q, const Schema& base,
     const EnumerationOptions& options) {
+  obs::OpScope op(obs::OpKind::kMonotonicity, "search.monotonicity",
+                  options.budget);
   VQDR_TRACE_SPAN("search.monotonicity");
   const int threads = ResolveThreads(options);
   MonotonicitySearchResult result;

@@ -4,6 +4,7 @@
 
 #include "core/query_answering.h"
 #include "core/rewriting.h"
+#include "obs/context.h"
 #include "obs/trace.h"
 
 namespace vqdr {
@@ -104,6 +105,10 @@ DeterminacyReport AnalyzeDeterminacy(const ViewSet& views,
                                      const ConjunctiveQuery& q,
                                      const Schema& base,
                                      const DeterminacyAnalysisOptions& opts) {
+  // The whole battery is one in-flight operation: every sub-call (decision,
+  // searches, probes) attributes to it in the live registry.
+  obs::OpScope op(obs::OpKind::kAnalyze, "report.analyze",
+                  opts.budget != nullptr ? opts.budget : opts.search.budget);
   // Attribute all counter/histogram movement during the battery to this
   // report (single-threaded analysis, so the delta is exactly ours).
   obs::MetricsSnapshot before = obs::SnapshotMetrics();

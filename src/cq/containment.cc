@@ -10,6 +10,7 @@
 #include "cq/explain_bridge.h"
 #include "cq/matcher.h"
 #include "guard/fault.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -386,6 +387,8 @@ int ResolveThreads(const CqContainmentOptions& options) {
 
 bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
                    const CqContainmentOptions& options) {
+  obs::OpScope op(obs::OpKind::kContainment, "cq.containment",
+                  options.budget);
   VQDR_COUNTER_INC("cq.containment.checks");
   VQDR_TRACE_SPAN("cq.containment");
   VQDR_CHECK(!q1.UsesNegation() && !q2.UsesNegation())
@@ -470,6 +473,8 @@ ContainmentResult ResolveSweep(const SweepOutcome& sweep,
 ContainmentResult CqContainedInGoverned(const ConjunctiveQuery& q1,
                                         const ConjunctiveQuery& q2,
                                         const CqContainmentOptions& options) {
+  obs::OpScope op(obs::OpKind::kContainment, "cq.containment",
+                  options.budget);
   VQDR_COUNTER_INC("cq.containment.checks");
   VQDR_TRACE_SPAN("cq.containment");
   VQDR_CHECK(!q1.UsesNegation() && !q2.UsesNegation())
@@ -547,6 +552,8 @@ bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
 
 bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2,
                     const CqContainmentOptions& options) {
+  obs::OpScope op(obs::OpKind::kContainment, "cq.containment.ucq",
+                  options.budget);
   VQDR_COUNTER_INC("cq.containment.ucq_checks");
   VQDR_TRACE_SPAN("cq.containment.ucq");
   VQDR_CHECK(!q1.empty() && !q2.empty()) << "containment with empty UCQ";
@@ -616,6 +623,8 @@ bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2) {
 ContainmentResult UcqContainedInGoverned(const UnionQuery& q1,
                                          const UnionQuery& q2,
                                          const CqContainmentOptions& options) {
+  obs::OpScope op(obs::OpKind::kContainment, "cq.containment.ucq",
+                  options.budget);
   VQDR_COUNTER_INC("cq.containment.ucq_checks");
   VQDR_TRACE_SPAN("cq.containment.ucq");
   VQDR_CHECK(!q1.empty() && !q2.empty()) << "containment with empty UCQ";

@@ -2,9 +2,21 @@
 
 #ifndef VQDR_GUARD_DISABLED
 
+#include <thread>
+
 #include "guard/fault.h"
 
 namespace vqdr::guard {
+
+namespace {
+// The (at most one) installed checkpoint observer. constinit so the probe
+// is safe from any thread at any time, including before main.
+constinit std::atomic<CheckpointObserver> g_checkpoint_observer{nullptr};
+}  // namespace
+
+void SetCheckpointObserver(CheckpointObserver observer) {
+  g_checkpoint_observer.store(observer, std::memory_order_release);
+}
 
 Budget::Budget(const BudgetSpec& spec) : spec_(spec) {
   if (spec_.wall_ms >= 0) {
@@ -36,12 +48,23 @@ Outcome Budget::Checkpoint(std::uint64_t steps) {
 
   std::uint64_t used =
       steps_.fetch_add(steps, std::memory_order_relaxed) + steps;
+
+  if (CheckpointObserver observer =
+          g_checkpoint_observer.load(std::memory_order_acquire)) {
+    observer(steps);
+  }
+
   if (spec_.max_steps != 0 && used > spec_.max_steps) {
     return Trip(Outcome::kStepBudgetExhausted);
   }
 
 #ifndef VQDR_GUARD_FAULTS_DISABLED
   if (CancelFaultDue(used)) return Trip(Outcome::kCancelled);
+  // A stall fault sleeps this thread once, right here, and changes nothing
+  // else — the injected hang the watchdog tests detect.
+  if (std::uint64_t stall_ms = StallFaultDue(used); stall_ms != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
 #endif
 
   if (has_deadline_) {

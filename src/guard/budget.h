@@ -30,6 +30,14 @@
 
 namespace vqdr::guard {
 
+/// Observer invoked (when installed) with the step count of every
+/// Budget::Checkpoint. This is how the obs layer, which sits ABOVE guard in
+/// the link order, hears engine liveness without guard depending on it:
+/// obs/context.cc installs a hook that turns checkpoints into per-operation
+/// heartbeats for the registry and the stall watchdog. Install-once at
+/// startup; the probe is a single relaxed load when no observer is set.
+using CheckpointObserver = void (*)(std::uint64_t steps);
+
 /// Declarative limits for one governed call. Zero / negative fields mean
 /// "unlimited"; a default BudgetSpec imposes nothing.
 struct BudgetSpec {
@@ -53,6 +61,10 @@ struct BudgetSpec {
 };
 
 #ifndef VQDR_GUARD_DISABLED
+
+/// Installs (or, with nullptr, removes) the process-wide checkpoint
+/// observer. Not for per-call use: the slot is a single atomic pointer.
+void SetCheckpointObserver(CheckpointObserver observer);
 
 class Budget {
  public:
@@ -124,6 +136,8 @@ class Budget {
 };
 
 #else  // VQDR_GUARD_DISABLED
+
+inline void SetCheckpointObserver(CheckpointObserver) {}
 
 /// Stub: governance compiled out. Budgets are accepted and ignored.
 class Budget {

@@ -19,6 +19,7 @@ struct Injector {
   FaultKind kind{FaultKind::kAllocFailure};
   std::string site;
   std::uint64_t at_hit = 0;
+  std::uint64_t stall_ms = 0;  // kStall only: how long the hit sleeps
   std::atomic<std::uint64_t> probes{0};
   std::atomic<bool> fired{false};
 };
@@ -83,6 +84,24 @@ bool CancelFaultDue(std::uint64_t steps_reached) {
   bool expected = false;
   return g.fired.compare_exchange_strong(expected, true,
                                          std::memory_order_acq_rel);
+}
+
+void ArmStallFault(std::uint64_t at_step, std::uint64_t sleep_ms) {
+  ArmFault(FaultKind::kStall, nullptr, at_step);
+  g_injector.stall_ms = sleep_ms;
+}
+
+std::uint64_t StallFaultDue(std::uint64_t steps_reached) {
+  Injector& g = g_injector;
+  if (!g.armed.load(std::memory_order_acquire)) return 0;
+  if (g.kind != FaultKind::kStall) return 0;
+  if (steps_reached < g.at_hit) return 0;
+  bool expected = false;
+  if (!g.fired.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    return 0;
+  }
+  return g.stall_ms;
 }
 
 }  // namespace vqdr::guard

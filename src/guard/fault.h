@@ -35,6 +35,10 @@ enum class FaultKind {
   /// Budget::Checkpoint trips kCancelled once the governed call's step
   /// counter reaches the armed ordinal — cancellation at exactly step N.
   kCancel,
+  /// Budget::Checkpoint SLEEPS once (for the armed duration) when the step
+  /// counter reaches the ordinal, then continues normally: a result-neutral
+  /// injected hang for exercising the obs::Watchdog stall detector.
+  kStall,
 };
 
 class InjectedAllocFailure : public std::bad_alloc {
@@ -77,6 +81,15 @@ void MaybeInjectThrow(FaultKind kind, const char* site);
 /// call's cumulative step count. Fires (returns true) exactly once.
 bool CancelFaultDue(std::uint64_t steps_reached);
 
+/// Arms a kStall fault: the first Budget::Checkpoint at or past `at_step`
+/// sleeps for `sleep_ms` and then proceeds unchanged. Same discipline as
+/// ArmFault: never while a governed call is running.
+void ArmStallFault(std::uint64_t at_step, std::uint64_t sleep_ms);
+
+/// Probe for the kStall kind; returns the sleep duration in ms when this
+/// checkpoint is the one that stalls (exactly once), else 0.
+std::uint64_t StallFaultDue(std::uint64_t steps_reached);
+
 #else  // VQDR_GUARD_FAULTS_DISABLED
 
 inline void ArmFault(FaultKind, const char*, std::uint64_t) {}
@@ -86,6 +99,8 @@ inline std::uint64_t FaultProbes() { return 0; }
 inline bool FaultFired() { return false; }
 inline void MaybeInjectThrow(FaultKind, const char*) {}
 inline bool CancelFaultDue(std::uint64_t) { return false; }
+inline void ArmStallFault(std::uint64_t, std::uint64_t) {}
+inline std::uint64_t StallFaultDue(std::uint64_t) { return 0; }
 
 #endif  // VQDR_GUARD_FAULTS_DISABLED
 

@@ -17,6 +17,10 @@ struct Registry {
   std::mutex mu;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  /// Dense per-op attribution ids, assigned in registration order. Index i
+  /// names the counter behind OpMetricCells::cells[i].
+  std::map<std::string, std::uint32_t, std::less<>> counter_ids;
+  std::vector<std::string> counter_names_by_id;
 
   static Registry& Get() {
     static Registry* r = new Registry;  // leaked: outlives static dtors
@@ -81,6 +85,36 @@ Counter& GetCounter(std::string_view name) {
              .first;
   }
   return *it->second;
+}
+
+namespace internal {
+thread_local OpMetricCells* t_op_cells = nullptr;
+}  // namespace internal
+
+CounterSite GetCounterSite(std::string_view name) {
+  Registry& r = Registry::Get();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    it = r.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  auto id_it = r.counter_ids.find(name);
+  if (id_it == r.counter_ids.end()) {
+    std::uint32_t id = kOpCounterUnattributed;
+    if (r.counter_names_by_id.size() < kMaxOpCounters) {
+      id = static_cast<std::uint32_t>(r.counter_names_by_id.size());
+      r.counter_names_by_id.emplace_back(name);
+    }
+    id_it = r.counter_ids.emplace(std::string(name), id).first;
+  }
+  return CounterSite(it->second.get(), id_it->second);
+}
+
+std::vector<std::string> OpCounterNames() {
+  Registry& r = Registry::Get();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.counter_names_by_id;
 }
 
 Histogram& GetHistogram(std::string_view name) {

@@ -9,6 +9,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 // Process-wide counters and histograms for the solver stack.
 //
@@ -101,6 +102,75 @@ Counter& GetCounter(std::string_view name);
 
 /// Same, for histograms.
 Histogram& GetHistogram(std::string_view name);
+
+// ---------------------------------------------------------------------------
+// Per-operation attribution (the live-telemetry layer, DESIGN.md §11).
+//
+// Every counter also carries a small dense id. While a thread is bound to an
+// in-flight operation (obs/context.h), counter movement is mirrored into
+// that operation's private cell array, so the op registry can report exact
+// per-op counter deltas even when many engine calls run concurrently. With
+// no operation bound the mirror is one thread-local load and a branch.
+
+/// Capacity of the per-op cell array. Counters registered beyond this many
+/// distinct names still work globally but stop being attributed per-op (the
+/// engines register ~30 names; 64 leaves headroom).
+inline constexpr std::size_t kMaxOpCounters = 64;
+
+/// Sentinel id for counters past the attribution capacity.
+inline constexpr std::uint32_t kOpCounterUnattributed =
+    static_cast<std::uint32_t>(kMaxOpCounters);
+
+/// One operation's private counter cells, indexed by dense counter id.
+struct OpMetricCells {
+  std::array<std::atomic<std::uint64_t>, kMaxOpCounters> cells{};
+};
+
+namespace internal {
+/// Cells of the operation the calling thread is currently bound to, or null.
+/// Managed exclusively by obs/context.h scopes; everyone else reads it
+/// implicitly through OpCounterAdd.
+extern thread_local OpMetricCells* t_op_cells;
+}  // namespace internal
+
+/// Mirrors `n` into the bound operation's cell for counter id `id` (no-op
+/// with no bound operation or an unattributed id).
+inline void OpCounterAdd(std::uint32_t id, std::uint64_t n) {
+  OpMetricCells* cells = internal::t_op_cells;
+  if (cells != nullptr && id < kMaxOpCounters) {
+    cells->cells[id].fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+/// A registered counter plus its dense attribution id: Add() moves the
+/// process-wide counter AND the bound operation's cell. This is what the
+/// VQDR_COUNTER_* macros cache per call site; engines whose *results* read
+/// tallies use it directly so per-op attribution covers those too.
+class CounterSite {
+ public:
+  CounterSite(Counter* counter, std::uint32_t id)
+      : counter_(counter), id_(id) {}
+
+  void Add(std::uint64_t n) {
+    counter_->Add(n);
+    OpCounterAdd(id_, n);
+  }
+  void Increment() { Add(1); }
+
+  Counter& counter() const { return *counter_; }
+  std::uint32_t id() const { return id_; }
+
+ private:
+  Counter* counter_;
+  std::uint32_t id_;
+};
+
+/// Registers (or finds) `name` and returns its counter + dense id.
+CounterSite GetCounterSite(std::string_view name);
+
+/// Counter names by dense id, index-aligned with OpMetricCells::cells.
+/// Grows as counters register; entries never move or change.
+std::vector<std::string> OpCounterNames();
 
 /// A histogram's values at snapshot time. min is 0 when count is 0.
 struct HistogramSnapshot {

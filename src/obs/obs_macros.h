@@ -40,8 +40,8 @@
 
 #define VQDR_COUNTER_ADD(name, n)                                       \
   do {                                                                  \
-    static ::vqdr::obs::Counter& vqdr_obs_counter_at_site =             \
-        ::vqdr::obs::GetCounter(name);                                  \
+    static ::vqdr::obs::CounterSite vqdr_obs_counter_at_site =          \
+        ::vqdr::obs::GetCounterSite(name);                              \
     vqdr_obs_counter_at_site.Add(static_cast<std::uint64_t>(n));        \
   } while (0)
 

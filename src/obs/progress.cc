@@ -31,6 +31,7 @@ bool ProgressEnabled() { return CurrentCallback() != nullptr; }
 
 bool ReportProgress(const char* phase, std::uint64_t current,
                     std::uint64_t total) {
+  OpHeartbeat();
   std::shared_ptr<ProgressCallback> cb = CurrentCallback();
   if (cb == nullptr) return true;
   ProgressEvent e;

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/context.h"
+
 // Liveness reporting for the long-running calls (the bounded counterexample
 // search, deep chase chains). Install a callback once:
 //
@@ -57,7 +59,11 @@ class ProgressTicker {
   bool Tick() {
     if (cancelled_) return false;
     ++count_;
-    if (!enabled_ || count_ % stride_ != 0) return true;
+    if (count_ % stride_ != 0) return true;
+    // Stride boundaries double as liveness heartbeats for the op registry
+    // and stall watchdog — ungoverned loops stay visible too.
+    OpHeartbeat();
+    if (!enabled_) return true;
     if (!Report()) cancelled_ = true;
     return !cancelled_;
   }

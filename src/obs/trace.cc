@@ -7,6 +7,7 @@
 #include <fstream>
 #include <mutex>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 
 namespace vqdr::obs {
@@ -70,6 +71,8 @@ void WriteSinkLine(TraceState& s, const TraceEvent& e) {
   line += std::to_string(e.tid);
   line += ",\"depth\":";
   line += std::to_string(e.depth);
+  line += ",\"op\":";
+  line += std::to_string(e.op);
   line += "}\n";
   s.sink << line;
   s.sink.flush();
@@ -133,7 +136,48 @@ TraceSpan::TraceSpan(const char* name, std::int64_t arg)
   Begin();
 }
 
+// Publishes the span to the live telemetry layer — the thread's span stack
+// (read by registry/watchdog snapshots) and the op's current phase — when an
+// operation is bound. Runs whether or not tracing records events: --ops and
+// stall reports must show phases on untraced production runs. With no op
+// bound the cost is one thread-local load.
+void TraceSpan::LiveBegin() {
+#ifndef VQDR_OBS_DISABLED
+  internal::OpSlot* op = internal::t_current_op;
+  if (op == nullptr) return;
+  live_ = true;
+  internal::ThreadSlot* slot = internal::EnsureThreadSlot();
+  int d = slot->depth.load(std::memory_order_relaxed);
+  if (d >= 0 && d < kThreadStackDepth) {
+    slot->names[d].store(name_, std::memory_order_relaxed);
+  }
+  slot->depth.store(d + 1, std::memory_order_release);
+  op->phase.store(name_, std::memory_order_relaxed);
+#endif
+}
+
+void TraceSpan::LiveEnd() {
+#ifndef VQDR_OBS_DISABLED
+  internal::ThreadSlot* slot = internal::EnsureThreadSlot();
+  int d = slot->depth.load(std::memory_order_relaxed) - 1;
+  if (d < 0) d = 0;
+  slot->depth.store(d, std::memory_order_release);
+  // Phase falls back to the enclosing span on this thread, or the op label
+  // at top level. Cross-thread phase writes race benignly (last writer
+  // wins): the field means "an innermost live span", not a total order.
+  internal::OpSlot* op = internal::t_current_op;
+  if (op == nullptr) return;
+  const char* parent = nullptr;
+  if (d > 0 && d <= kThreadStackDepth) {
+    parent = slot->names[d - 1].load(std::memory_order_relaxed);
+  }
+  op->phase.store(parent != nullptr ? parent : op->label,
+                  std::memory_order_relaxed);
+#endif
+}
+
 void TraceSpan::Begin() {
+  LiveBegin();
   if (!TracingEnabled()) return;
   active_ = true;
   depth_ = t_depth++;
@@ -143,6 +187,7 @@ void TraceSpan::Begin() {
 }
 
 TraceSpan::~TraceSpan() {
+  if (live_) LiveEnd();
   if (!active_) return;
   --t_depth;
   TraceState& s = TraceState::Get();
@@ -155,6 +200,7 @@ TraceSpan::~TraceSpan() {
   e.dur_us = MicrosSinceEpochLocked(s) - start_us_;
   e.tid = CurrentTraceTid();
   e.depth = depth_;
+  e.op = CurrentOpId();
   if (s.ring.size() >= kTraceRingCapacity) s.ring.pop_front();
   if (s.sink_open) WriteSinkLine(s, e);
   s.ring.push_back(std::move(e));

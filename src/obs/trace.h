@@ -41,6 +41,9 @@ struct TraceEvent {
   std::uint32_t tid = 0;
   /// 0 for top-level spans, +1 per enclosing live span (per thread).
   int depth = 0;
+  /// Id of the in-flight operation (obs/context.h) the recording thread was
+  /// bound to, or 0. Joins spans against the op registry and the log.
+  std::uint64_t op = 0;
 };
 
 /// True when spans are being recorded (ring buffer and/or sink).
@@ -81,11 +84,17 @@ class TraceSpan {
 
  private:
   void Begin();
+  void LiveBegin();
+  void LiveEnd();
 
   const char* name_;
   std::int64_t arg_ = 0;
   bool has_arg_ = false;
   bool active_ = false;
+  /// True when this span published itself to the live telemetry layer (an
+  /// operation was bound at construction): thread span stack + op phase.
+  /// Independent of active_ — live bookkeeping runs even with tracing off.
+  bool live_ = false;
   int depth_ = 0;
   std::uint64_t start_us_ = 0;
 };

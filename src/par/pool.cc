@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "guard/fault.h"
+#include "obs/context.h"
 
 namespace vqdr::par {
 
@@ -52,6 +54,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+#ifndef VQDR_OBS_DISABLED
+  // Carry the submitter's operation context across the task boundary, so a
+  // work-stolen chunk's spans, counters, heartbeats, and guard outcomes
+  // attribute to the op that spawned it — not to the worker's previous op.
+  if (obs::OpHandle op = obs::CurrentOpHandle()) {
+    task = [op = std::move(op), inner = std::move(task)] {
+      obs::OpTaskScope bind(op);
+      inner();
+    };
+  }
+#endif
   int target;
   if (t_worker.pool == this) {
     target = t_worker.index;  // owner's deque: LIFO for itself

@@ -40,6 +40,10 @@ OpContext::OpContext(const char* phase, std::uint64_t total,
 
 bool OpContext::AddProgress(std::uint64_t n) {
   std::uint64_t done = done_.fetch_add(n, std::memory_order_relaxed) + n;
+  // Governed calls heartbeat through the budget's checkpoint observer; an
+  // ungoverned sweep must tick the op registry itself to stay visible to
+  // the stall watchdog.
+  if (budget_ == nullptr) obs::OpHeartbeat(n);
   if (!guard::IsComplete(guard::Check(budget_, n))) {
     Cancel();
     return false;

@@ -9,16 +9,22 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/finite_search.h"
 #include "cq/containment.h"
 #include "cq/parser.h"
+#include "obs/context.h"
 #include "obs/explain.h"
 #include "obs/export.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 
 namespace vqdr {
@@ -142,6 +148,162 @@ TEST_P(ObsStressFixture, SharedExplainLogSurvivesParallelSweep) {
   }
   EXPECT_GE(witnesses, 1);
 }
+
+#ifndef VQDR_OBS_DISABLED
+
+// Live-telemetry battery (DESIGN.md §11): GetParam() client threads each
+// open their own OpScope and run a full engine call while a snapshotter
+// thread hammers every registry read surface. Unlike the weak assertions
+// above, the attribution checks here are EXACT: a serial client's per-op
+// "search.instances" delta must equal its own result's instances_examined —
+// any cross-op pollution under concurrency breaks the equality.
+TEST_P(ObsStressFixture, RegistryAttributesCountersToTheRightOpConcurrently) {
+  const int threads = GetParam();
+
+  std::atomic<bool> done{false};
+  std::thread snapshotter([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<obs::OpSnapshot> ops = obs::SnapshotOps();
+      std::string json = obs::OpsToJson(ops, 1754650000000ull);
+      ASSERT_EQ(json.find("{\"event\":\"ops\""), 0u);
+      std::string text = obs::RenderOpsText(ops);
+      ASSERT_FALSE(text.empty());
+      (void)obs::SnapshotThreadStacks();
+      std::this_thread::yield();
+    }
+  });
+
+  struct ClientResult {
+    obs::OpId id = 0;
+    bool parallel = false;
+    std::uint64_t examined = 0;
+    std::uint64_t counter = 0;
+    std::uint64_t tasks = 0;
+    bool phase_seen = false;
+    SearchVerdict verdict = SearchVerdict::kNoneWithinBound;
+  };
+  std::vector<ClientResult> clients(static_cast<std::size_t>(threads));
+
+  // Each client re-parses its own inputs: NamePool is not shared across
+  // threads.
+  auto client = [&](std::size_t i) {
+    NamePool pool;
+    auto v = ParseCq("V(x) :- E(x, y)", pool);
+    ASSERT_TRUE(v.ok());
+    ViewSet views;
+    views.Add(v.value().head_name(), Query::FromCq(v.value()));
+    auto q = ParseCq("Q(x, y) :- E(x, y)", pool);
+    ASSERT_TRUE(q.ok());
+
+    obs::OpScope op(obs::OpKind::kOther, "stress.client");
+    clients[i].id = op.id();
+    {
+      // Span bookkeeping must land on THIS op even while every other client
+      // pushes spans of its own.
+      VQDR_TRACE_SPAN("stress.client.phase");
+      clients[i].phase_seen =
+          obs::SnapshotOp(op.id()).phase == std::string("stress.client.phase");
+    }
+    EnumerationOptions options;
+    options.domain_size = 2;
+    // Even clients sweep serially (exact attribution identity); odd clients
+    // shard across their own pool (exercises task-boundary propagation).
+    clients[i].parallel = (i % 2) == 1;
+    options.threads = clients[i].parallel ? threads : 1;
+    DeterminacySearchResult result = SearchDeterminacyCounterexample(
+        views, Query::FromCq(q.value()), Schema{{"E", 2}}, options);
+    clients[i].verdict = result.verdict;
+    clients[i].examined = result.instances_examined;
+
+    obs::OpSnapshot snap = obs::SnapshotOp(op.id());
+    auto it = snap.counters.find("search.instances");
+    clients[i].counter = it == snap.counters.end() ? 0 : it->second;
+    clients[i].tasks = snap.tasks;
+  };
+
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    workers.emplace_back(client, i);
+  }
+  for (std::thread& w : workers) w.join();
+  done.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const ClientResult& c = clients[i];
+    ASSERT_NE(c.id, 0u) << "client " << i;
+    EXPECT_EQ(c.verdict, SearchVerdict::kCounterexampleFound) << "client " << i;
+    EXPECT_TRUE(c.phase_seen) << "client " << i;
+    ASSERT_GT(c.examined, 0u) << "client " << i;
+    if (c.parallel) {
+      // Workers may race past the earliest conflict, so the per-op tally can
+      // only exceed the deterministic prefix — but it must still be this
+      // op's own work, and the pool tasks must have bound to it.
+      EXPECT_GE(c.counter, c.examined) << "client " << i;
+      EXPECT_GT(c.tasks, 0u) << "client " << i;
+    } else {
+      EXPECT_EQ(c.counter, c.examined) << "client " << i;
+    }
+    for (std::size_t j = i + 1; j < clients.size(); ++j) {
+      EXPECT_NE(c.id, clients[j].id);
+    }
+  }
+}
+
+// Every log record must carry the op id of the thread that emitted it, even
+// when GetParam() clients log through the shared sink at once.
+TEST_P(ObsStressFixture, LoggerStampsRecordsWithTheEmittingOp) {
+  const int threads = GetParam();
+  constexpr int kRecordsPerClient = 50;
+
+  std::mutex mu;
+  std::vector<std::string> lines;
+  obs::SetLogCapture([&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  });
+  obs::SetLogLevel(obs::LogLevel::kInfo);
+  obs::SetLogRateLimit(0);  // unlimited: shedding would break the tally
+
+  std::vector<obs::OpId> ids(static_cast<std::size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < threads; ++i) {
+    workers.emplace_back([&, i] {
+      obs::OpScope op(obs::OpKind::kOther, "stress.logger");
+      ids[static_cast<std::size_t>(i)] = op.id();
+      for (int n = 0; n < kRecordsPerClient; ++n) {
+        obs::LogRecord(obs::LogLevel::kInfo, "stress.log")
+            .Num("client", i)
+            .Num("n", n);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  obs::SetLogLevel(obs::LogLevel::kOff);
+  obs::SetLogCapture(nullptr);
+  obs::SetLogRateLimit(1000);
+
+  // Drop the built-in op.done lifecycle records the closing scopes emit;
+  // the tally below is for this test's own records only.
+  std::erase_if(lines, [](const std::string& l) {
+    return l.find("\"event\":\"stress.log\"") == std::string::npos;
+  });
+  ASSERT_EQ(lines.size(),
+            static_cast<std::size_t>(threads) * kRecordsPerClient);
+  auto field = [](const std::string& line, const std::string& key) {
+    std::size_t at = line.find("\"" + key + "\":");
+    EXPECT_NE(at, std::string::npos) << line;
+    return std::stoull(line.substr(at + key.size() + 3));
+  };
+  for (const std::string& line : lines) {
+    std::uint64_t client = field(line, "client");
+    ASSERT_LT(client, ids.size()) << line;
+    EXPECT_EQ(field(line, "op"), ids[client]) << line;
+  }
+}
+
+#endif  // VQDR_OBS_DISABLED
 
 INSTANTIATE_TEST_SUITE_P(Threads, ObsStressFixture, ::testing::Values(2, 8),
                          [](const ::testing::TestParamInfo<int>& info) {

@@ -150,14 +150,16 @@ TEST(ObsTrace, JsonlSinkWritesOneWellFormedLinePerSpan) {
   ASSERT_EQ(lines.size(), 2u);
   // Inner completes (and is written) before outer; depth disambiguates.
   EXPECT_EQ(lines[0].find("{\"name\":\"sink.inner\",\"arg\":42,"), 0u);
-  EXPECT_NE(lines[0].find("\"depth\":1}"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"depth\":1,"), std::string::npos);
   EXPECT_EQ(lines[1].find("{\"name\":\"sink.outer\","), 0u);
-  EXPECT_NE(lines[1].find("\"depth\":0}"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"depth\":0,"), std::string::npos);
   for (const std::string& l : lines) {
     EXPECT_EQ(l.front(), '{');
     EXPECT_EQ(l.back(), '}');
     EXPECT_NE(l.find("\"start_us\":"), std::string::npos);
     EXPECT_NE(l.find("\"dur_us\":"), std::string::npos);
+    // Every span line carries the op-id join key (0 outside any operation).
+    EXPECT_NE(l.find("\"op\":"), std::string::npos);
   }
   std::remove(path.c_str());
 }
