@@ -10,6 +10,7 @@
 #include "bench_json.h"
 
 #include "cq/containment.h"
+#include "cq/matcher.h"
 #include "cq/minimize.h"
 #include "gen/workloads.h"
 
@@ -86,6 +87,92 @@ void BM_UcqContainment(benchmark::State& state) {
   state.counters["disjuncts"] = static_cast<double>(n);
 }
 BENCHMARK(BM_UcqContainment)->DenseRange(1, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- Engine-differential variants (DESIGN.md §12) ---
+//
+// Hom-dominated shapes, parameterized by engine (arg 1: 0 = indexed,
+// 1 = legacy) so `--benchmark_filter=ByEngine` prints the speedup directly.
+// The legacy rows only run under -DVQDR_MATCHER_LEGACY=ON and are skipped
+// (not silently measured as indexed) otherwise. Memoization is pinned off:
+// the subject here is the homomorphism search, not the verdict cache.
+
+bool SelectEngine(benchmark::State& state, MatcherOptions* matcher) {
+  if (state.range(1) == 0) {
+    matcher->engine = MatcherEngine::kIndexed;
+    return true;
+  }
+  if (!MatcherLegacyCompiled()) {
+    state.SkipWithError("legacy oracle not compiled (-DVQDR_MATCHER_LEGACY=ON)");
+    return false;
+  }
+  matcher->engine = MatcherEngine::kLegacy;
+  return true;
+}
+
+void BM_HomChainContainmentByEngine(benchmark::State& state) {
+  // Chain-2n vs chain-n: the pattern check walks a long frozen path with
+  // the head pre-bound — a deep, failure-terminated join where the legacy
+  // engine re-scans the whole edge relation at every node.
+  int n = static_cast<int>(state.range(0));
+  CqContainmentOptions options;
+  options.memo.use = memo::Use::kOff;
+  if (!SelectEngine(state, &options.matcher)) return;
+  ConjunctiveQuery longer = ChainQuery(2 * n);
+  ConjunctiveQuery shorter = ChainQuery(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CqContainedIn(longer, shorter, options));
+    benchmark::DoNotOptimize(CqContainedIn(shorter, longer, options));
+  }
+  state.counters["atoms"] = static_cast<double>(2 * n);
+}
+BENCHMARK(BM_HomChainContainmentByEngine)
+    ->ArgsProduct({{16, 24, 32}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HomPatternOverRandomGraphByEngine(benchmark::State& state) {
+  // Chain-pattern evaluation over a dense random graph: the success-heavy
+  // case (every hom is enumerated), measuring raw candidate generation.
+  int k = static_cast<int>(state.range(0));
+  MatcherOptions matcher;
+  if (!SelectEngine(state, &matcher)) return;
+  ConjunctiveQuery q = ChainQuery(k);
+  Instance g = RandomGraph(40, 240, /*seed=*/7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateCq(q, g, matcher));
+  }
+  state.counters["edges"] =
+      static_cast<double>(g.Get("E").tuples().size());
+}
+BENCHMARK(BM_HomPatternOverRandomGraphByEngine)
+    ->ArgsProduct({{2, 3, 4}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HomOddCycleOverBipartiteByEngine(benchmark::State& state) {
+  // Failure-heavy: an odd cycle has no hom into a bipartite graph, so the
+  // whole search tree is refutation — exactly where forward checking and
+  // backjumping earn their keep.
+  int k = static_cast<int>(state.range(0));  // odd cycle length
+  MatcherOptions matcher;
+  if (!SelectEngine(state, &matcher)) return;
+  ConjunctiveQuery q = CycleQuery(k);
+  Instance g(Schema{{"E", 2}});
+  for (int i = 1; i <= 10; ++i) {
+    for (int j = 1; j <= 10; ++j) {
+      if ((i * 7 + j * 3) % 4 == 0) {
+        g.AddFact("E", {Value(i), Value(10 + j)});
+      }
+      if ((i * 5 + j) % 4 == 0) {
+        g.AddFact("E", {Value(10 + j), Value(i)});
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateCq(q, g, matcher));
+  }
+}
+BENCHMARK(BM_HomOddCycleOverBipartiteByEngine)
+    ->ArgsProduct({{5, 7}, {0, 1}})
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -89,7 +89,8 @@ ConjunctiveQuery InstanceToQuery(const Instance& instance, const Tuple& head,
 
 std::optional<std::map<Value, Value>> FindInstanceHomomorphism(
     const Instance& from, const Instance& to,
-    const std::map<Value, Value>& fixed, const std::set<Value>& constants) {
+    const std::map<Value, Value>& fixed, const std::set<Value>& constants,
+    const MatcherOptions& matcher) {
   // Convert `from` into a set of atoms: non-constant values become variables
   // named after their id, then reuse the query matcher.
   auto var_name = [](Value v) { return "h" + std::to_string(v.id); };
@@ -120,10 +121,13 @@ std::optional<std::map<Value, Value>> FindInstanceHomomorphism(
   }
 
   std::optional<Binding> found;
-  ForEachMatch(atoms, to, initial, [&found](const Binding& binding) {
-    found = binding;
-    return false;  // first match suffices
-  });
+  ForEachMatch(
+      atoms, to, initial,
+      [&found](const Binding& binding) {
+        found = binding;
+        return false;  // first match suffices
+      },
+      nullptr, matcher);
   if (!found.has_value()) return std::nullopt;
 
   std::map<Value, Value> hom;

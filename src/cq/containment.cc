@@ -131,11 +131,13 @@ void RecordMemoProbe(obs::ExplainLog* log, const char* label, bool hit) {
 // does). Skips recording when the budget stopped mid-check, mirroring the
 // governed sweep's "report pass so a stop cannot masquerade as a witness".
 bool ExplainedUcqCheck(obs::ExplainLog* log, const UnionQuery& q2,
-                       const PatternInstance& pattern, guard::Budget* budget) {
+                       const PatternInstance& pattern, guard::Budget* budget,
+                       const MatcherOptions& matcher) {
   for (std::size_t i = 0; i < q2.disjuncts().size(); ++i) {
     Binding witness;
     bool pass = CqAnswerContains(q2.disjuncts()[i], pattern.instance,
-                                 pattern.frozen_head, budget, &witness);
+                                 pattern.frozen_head, budget, &witness,
+                                 matcher);
     if (budget != nullptr && budget->Stopped()) return true;
     if (pass) {
       RecordPatternCheck(log, "ucq.sub", q2.disjuncts()[i], pattern, true,
@@ -412,12 +414,13 @@ bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
             Binding witness;
             bool pass = CqAnswerContains(n2, pattern.instance,
                                          pattern.frozen_head, nullptr,
-                                         &witness);
+                                         &witness, options.matcher);
             RecordPatternCheck(options.explain, "cq.sub", n2, pattern, pass,
                                witness);
             return pass;
           }
-          return CqAnswerContains(n2, pattern.instance, pattern.frozen_head);
+          return CqAnswerContains(n2, pattern.instance, pattern.frozen_head,
+                                  nullptr, nullptr, options.matcher);
         });
   };
 
@@ -503,7 +506,8 @@ ContainmentResult CqContainedInGoverned(const ConjunctiveQuery& q1,
           Binding witness;
           bool pass = CqAnswerContains(n2, pattern.instance,
                                        pattern.frozen_head, budget,
-                                       want_explain ? &witness : nullptr);
+                                       want_explain ? &witness : nullptr,
+                                       options.matcher);
           // A budget stop mid-match makes the answer meaningless; report
           // "pass" so it cannot masquerade as a witness — the sweep records
           // the stop separately.
@@ -584,9 +588,11 @@ bool UcqContainedIn(const UnionQuery& q1, const UnionQuery& q2,
           normalized, constants, need_patterns, ResolveThreads(options),
           [&](const PatternInstance& pattern) {
             if (obs::Wants(options.explain)) {
-              return ExplainedUcqCheck(options.explain, q2, pattern, nullptr);
+              return ExplainedUcqCheck(options.explain, q2, pattern, nullptr,
+                                       options.matcher);
             }
-            Relation answer = EvaluateUcq(q2, pattern.instance);
+            Relation answer = EvaluateUcq(q2, pattern.instance,
+                                          options.matcher);
             return answer.Contains(pattern.frozen_head);
           });
       if (!contained) return false;
@@ -657,9 +663,11 @@ ContainmentResult UcqContainedInGoverned(const UnionQuery& q1,
           normalized, constants, need_patterns, ResolveThreads(options),
           budget, [&](const PatternInstance& pattern) {
             if (obs::Wants(options.explain)) {
-              return ExplainedUcqCheck(options.explain, q2, pattern, budget);
+              return ExplainedUcqCheck(options.explain, q2, pattern, budget,
+                                       options.matcher);
             }
-            Relation answer = EvaluateUcq(q2, pattern.instance);
+            Relation answer = EvaluateUcq(q2, pattern.instance,
+                                          options.matcher);
             if (budget != nullptr && budget->Stopped()) return true;
             return answer.Contains(pattern.frozen_head);
           });

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "cq/conjunctive_query.h"
+#include "cq/matcher.h"
 #include "cq/ucq.h"
 #include "guard/budget.h"
 #include "memo/memo.h"
@@ -34,6 +35,12 @@ struct CqContainmentOptions {
   /// governed sweeps install only kComplete verdicts (witnesses of
   /// non-containment count: they are definitive). See DESIGN.md §9.
   memo::MemoOptions memo;
+
+  /// Homomorphism-engine selection for every canonical-database check the
+  /// sweep performs (DESIGN.md §12). The default routes through the process
+  /// default engine; the differential battery pins kLegacy vs kIndexed here
+  /// to compare verdicts end to end.
+  MatcherOptions matcher;
 
   /// Optional decision-provenance sink (DESIGN.md §10). When non-null and
   /// VQDR_OBS is compiled in, every pattern check appends an event: a

@@ -373,4 +373,81 @@ std::string InstanceMemoKey(const Instance& instance) {
   return out.str();
 }
 
+std::unordered_map<Value, int> WlValueColorClasses(const Instance& instance) {
+  // Dense value table over the active domain.
+  std::set<Value> dom_set = instance.ActiveDomain();
+  std::vector<Value> dom(dom_set.begin(), dom_set.end());
+  std::unordered_map<Value, int> index;
+  index.reserve(dom.size());
+  for (std::size_t i = 0; i < dom.size(); ++i) {
+    index.emplace(dom[i], static_cast<int>(i));
+  }
+
+  // Initial color: the multiset of (relation, position) slots a value fills.
+  // Hash collisions can only merge classes, which for the symmetry-breaking
+  // consumer just means a weaker (never wrong) filter — the exact
+  // transposition check downstream decides interchangeability.
+  std::vector<std::uint64_t> colors(dom.size(), 0);
+  {
+    std::vector<std::vector<std::uint64_t>> occ(dom.size());
+    for (const RelationDecl& d : instance.schema().decls()) {
+      std::uint64_t rel_hash = HashString(d.name);
+      for (const Tuple& t : instance.Get(d.name).tuples()) {
+        for (std::size_t pos = 0; pos < t.size(); ++pos) {
+          occ[index.at(t[pos])].push_back(Mix(rel_hash, pos));
+        }
+      }
+    }
+    for (std::size_t i = 0; i < dom.size(); ++i) {
+      std::sort(occ[i].begin(), occ[i].end());
+      std::uint64_t h = 0x9ae16a3b2f90404full;
+      for (std::uint64_t o : occ[i]) h = Mix(h, o);
+      colors[i] = h;
+    }
+  }
+
+  // Refine to fixpoint: each round folds in, per occurrence, the relation,
+  // the position, and the colors of the co-occurring values (position-wise).
+  std::size_t distinct = std::set<std::uint64_t>(colors.begin(), colors.end()).size();
+  for (std::size_t round = 0; round < dom.size(); ++round) {
+    std::vector<std::vector<std::uint64_t>> occ(dom.size());
+    for (const RelationDecl& d : instance.schema().decls()) {
+      std::uint64_t rel_hash = HashString(d.name);
+      for (const Tuple& t : instance.Get(d.name).tuples()) {
+        std::uint64_t tuple_hash = rel_hash;
+        for (const Value& v : t) {
+          tuple_hash = Mix(tuple_hash, colors[index.at(v)]);
+        }
+        for (std::size_t pos = 0; pos < t.size(); ++pos) {
+          occ[index.at(t[pos])].push_back(Mix(tuple_hash, pos));
+        }
+      }
+    }
+    std::vector<std::uint64_t> next(dom.size());
+    for (std::size_t i = 0; i < dom.size(); ++i) {
+      std::sort(occ[i].begin(), occ[i].end());
+      std::uint64_t h = colors[i];
+      for (std::uint64_t o : occ[i]) h = Mix(h, o);
+      next[i] = h;
+    }
+    std::size_t next_distinct =
+        std::set<std::uint64_t>(next.begin(), next.end()).size();
+    colors.swap(next);
+    if (next_distinct == distinct) break;  // partition stopped refining
+    distinct = next_distinct;
+  }
+
+  // Dense class ids in color order (deterministic given the instance).
+  std::map<std::uint64_t, int> class_id;
+  for (std::uint64_t c : colors) {
+    class_id.emplace(c, static_cast<int>(class_id.size()));
+  }
+  std::unordered_map<Value, int> result;
+  result.reserve(dom.size());
+  for (std::size_t i = 0; i < dom.size(); ++i) {
+    result.emplace(dom[i], class_id.at(colors[i]));
+  }
+  return result;
+}
+
 }  // namespace vqdr

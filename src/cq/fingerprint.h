@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "cq/conjunctive_query.h"
 #include "cq/ucq.h"
@@ -50,6 +51,16 @@ std::string ExactUcqKey(const UnionQuery& q);
 /// Exact content digest of an instance: schema declarations plus the sorted
 /// tuple serialization from Instance::ToKey.
 std::string InstanceMemoKey(const Instance& instance);
+
+/// Weisfeiler–Leman color classes over the active domain of an instance:
+/// iterated 1-WL refinement of the values, where a value's color is a hash
+/// of its (relation, position, co-occurring colors) contexts. Two values in
+/// different classes are provably NOT interchangeable (no automorphism of
+/// the instance swaps them); equal class is necessary but not sufficient.
+/// The indexed matcher's symmetry breaker (DESIGN.md §12) uses this as the
+/// cheap filter in front of its exact transposition check. Returns one
+/// dense class id per active-domain value.
+std::unordered_map<Value, int> WlValueColorClasses(const Instance& instance);
 
 }  // namespace vqdr
 

@@ -1,8 +1,11 @@
 #include "cq/matcher.h"
 
-#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
 
 #include "base/check.h"
+#include "cq/matcher_impl.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -10,100 +13,32 @@ namespace vqdr {
 
 namespace {
 
-// Counts how many argument positions of `atom` are already determined by
-// `binding` (constants count as bound).
-int BoundPositions(const Atom& atom, const Binding& binding) {
-  int bound = 0;
-  for (const Term& t : atom.args) {
-    if (t.is_const() || binding.count(t.var()) > 0) ++bound;
+using matcher_internal::MatchStats;
+
+MatcherEngine ResolveInitialEngine() {
+  if (const char* env = std::getenv("VQDR_MATCHER")) {
+    std::string v(env);
+    if (v == "indexed") return MatcherEngine::kIndexed;
+    if (v == "legacy") {
+      VQDR_CHECK(MatcherLegacyCompiled())
+          << "VQDR_MATCHER=legacy requires a -DVQDR_MATCHER_LEGACY=ON build";
+      return MatcherEngine::kLegacy;
+    }
+    VQDR_CHECK(v.empty()) << "unknown VQDR_MATCHER value: " << v
+                          << " (expected indexed or legacy)";
   }
-  return bound;
+#ifdef VQDR_MATCHER_LEGACY
+  // A legacy build routes the whole suite through the oracle by default, so
+  // the matcher-legacy CI job proves every golden both ways.
+  return MatcherEngine::kLegacy;
+#else
+  return MatcherEngine::kIndexed;
+#endif
 }
 
-// Stack-local tally for one ForEachMatch call, flushed to the obs counters
-// once at the end — keeps atomic traffic out of the recursion entirely.
-struct MatchStats {
-  std::uint64_t attempts = 0;
-  std::uint64_t matches = 0;
-};
-
-// Recursive backtracking join. `remaining` holds indices of atoms not yet
-// matched.
-bool MatchRec(const std::vector<Atom>& atoms, const Instance& db,
-              std::vector<int>& remaining, Binding& binding,
-              const std::function<bool(const Binding&)>& on_match,
-              MatchStats& stats, guard::Budget* budget) {
-  // One budget step per backtracking node: each node's own work is bounded
-  // by the relation size, so this polls often enough for deadlines without
-  // per-tuple overhead.
-  if (!guard::IsComplete(guard::Check(budget))) return false;
-  if (remaining.empty()) {
-    ++stats.matches;
-    return on_match(binding);
-  }
-
-  // Pick the most-constrained atom: maximal bound positions, then smaller
-  // relation. This keeps the search close to a worst-case-optimal join on
-  // the small instances the library processes.
-  std::size_t best_i = 0;
-  int best_bound = -1;
-  std::size_t best_size = 0;
-  for (std::size_t i = 0; i < remaining.size(); ++i) {
-    const Atom& atom = atoms[remaining[i]];
-    int bound = BoundPositions(atom, binding);
-    std::size_t size = db.Get(atom.predicate).size();
-    if (bound > best_bound || (bound == best_bound && size < best_size)) {
-      best_bound = bound;
-      best_size = size;
-      best_i = i;
-    }
-  }
-  int atom_index = remaining[best_i];
-  remaining.erase(remaining.begin() + best_i);
-  const Atom& atom = atoms[atom_index];
-  const Relation& rel = db.Get(atom.predicate);
-
-  bool keep_going = true;
-  // Tallied in a register-local and folded into `stats` once per level so
-  // the per-tuple loop stays store-free.
-  std::uint64_t attempts = 0;
-  for (const Tuple& tuple : rel.tuples()) {
-    ++attempts;
-    // Try to extend the binding so that atom maps to this tuple.
-    std::vector<std::pair<std::string, Value>> added;
-    bool consistent = true;
-    for (std::size_t pos = 0; pos < atom.args.size(); ++pos) {
-      const Term& t = atom.args[pos];
-      Value v = tuple[pos];
-      if (t.is_const()) {
-        if (t.constant() != v) {
-          consistent = false;
-          break;
-        }
-        continue;
-      }
-      auto it = binding.find(t.var());
-      if (it != binding.end()) {
-        if (it->second != v) {
-          consistent = false;
-          break;
-        }
-      } else {
-        binding.emplace(t.var(), v);
-        added.emplace_back(t.var(), v);
-      }
-    }
-    if (consistent) {
-      keep_going =
-          MatchRec(atoms, db, remaining, binding, on_match, stats, budget);
-    }
-    for (const auto& [var, value] : added) binding.erase(var);
-    if (!keep_going) break;
-  }
-  stats.attempts += attempts;
-
-  remaining.insert(remaining.begin() + best_i, atom_index);
-  return keep_going;
+std::atomic<MatcherEngine>& DefaultEngineSlot() {
+  static std::atomic<MatcherEngine> slot{ResolveInitialEngine()};
+  return slot;
 }
 
 // Resolves a term under a binding; all variables must be bound.
@@ -136,10 +71,37 @@ bool FiltersPass(const ConjunctiveQuery& q, const Instance& db,
 
 }  // namespace
 
+bool MatcherLegacyCompiled() {
+#ifdef VQDR_MATCHER_LEGACY
+  return true;
+#else
+  return false;
+#endif
+}
+
+MatcherEngine DefaultMatcherEngine() {
+  return DefaultEngineSlot().load(std::memory_order_relaxed);
+}
+
+MatcherEngine SetDefaultMatcherEngine(MatcherEngine engine) {
+  if (engine == MatcherEngine::kDefault) engine = ResolveInitialEngine();
+  VQDR_CHECK(engine != MatcherEngine::kLegacy || MatcherLegacyCompiled())
+      << "legacy matcher requested but not compiled in "
+         "(build with -DVQDR_MATCHER_LEGACY=ON)";
+  return DefaultEngineSlot().exchange(engine, std::memory_order_relaxed);
+}
+
 bool ForEachMatch(const std::vector<Atom>& atoms, const Instance& db,
                   const Binding& initial,
                   const std::function<bool(const Binding&)>& on_match,
                   guard::Budget* budget) {
+  return ForEachMatch(atoms, db, initial, on_match, budget, MatcherOptions{});
+}
+
+bool ForEachMatch(const std::vector<Atom>& atoms, const Instance& db,
+                  const Binding& initial,
+                  const std::function<bool(const Binding&)>& on_match,
+                  guard::Budget* budget, const MatcherOptions& options) {
   for (const Atom& atom : atoms) {
     // A predicate missing from the database schema denotes an empty
     // relation: the conjunction has no matches.
@@ -150,20 +112,47 @@ bool ForEachMatch(const std::vector<Atom>& atoms, const Instance& db,
   // With tracing off this is one relaxed load; with it on, the hom matcher
   // shows up as its own node in the span-tree profile.
   VQDR_TRACE_SPAN("cq.match", static_cast<std::int64_t>(atoms.size()));
-  std::vector<int> remaining(atoms.size());
-  for (std::size_t i = 0; i < atoms.size(); ++i) {
-    remaining[i] = static_cast<int>(i);
-  }
-  Binding binding = initial;
+  MatcherEngine engine = options.engine == MatcherEngine::kDefault
+                             ? DefaultMatcherEngine()
+                             : options.engine;
   MatchStats stats;
-  bool completed =
-      MatchRec(atoms, db, remaining, binding, on_match, stats, budget);
+  bool completed;
+  if (engine == MatcherEngine::kLegacy) {
+#ifdef VQDR_MATCHER_LEGACY
+    completed = matcher_internal::LegacyMatch(atoms, db, initial, on_match,
+                                              stats, budget);
+#else
+    VQDR_CHECK(false) << "legacy matcher requested but not compiled in "
+                         "(build with -DVQDR_MATCHER_LEGACY=ON)";
+    completed = false;
+#endif
+  } else {
+    completed = matcher_internal::IndexedMatch(atoms, db, initial, on_match,
+                                               stats, budget, options);
+  }
   VQDR_COUNTER_ADD("cq.hom.attempts", stats.attempts);
   VQDR_COUNTER_ADD("cq.hom.matches", stats.matches);
+  if (stats.index_builds) {
+    VQDR_COUNTER_ADD("cq.hom.index.builds", stats.index_builds);
+  }
+  if (stats.index_lookups) {
+    VQDR_COUNTER_ADD("cq.hom.index.lookups", stats.index_lookups);
+  }
+  if (stats.index_candidates) {
+    VQDR_COUNTER_ADD("cq.hom.index.candidates", stats.index_candidates);
+  }
+  if (stats.fc_prunes) VQDR_COUNTER_ADD("cq.hom.fc.prunes", stats.fc_prunes);
+  if (stats.bj_jumps) VQDR_COUNTER_ADD("cq.hom.bj.jumps", stats.bj_jumps);
+  if (stats.sym_skips) VQDR_COUNTER_ADD("cq.hom.sym.skips", stats.sym_skips);
   return completed;
 }
 
 Relation EvaluateCq(const ConjunctiveQuery& q, const Instance& db) {
+  return EvaluateCq(q, db, MatcherOptions{});
+}
+
+Relation EvaluateCq(const ConjunctiveQuery& q, const Instance& db,
+                    const MatcherOptions& options) {
   VQDR_COUNTER_INC("cq.eval.calls");
   VQDR_CHECK(q.IsSafe()) << "evaluating unsafe query: " << q.ToString();
   bool satisfiable = true;
@@ -171,38 +160,51 @@ Relation EvaluateCq(const ConjunctiveQuery& q, const Instance& db) {
   Relation result(q.head_arity());
   if (!satisfiable) return result;
 
-  ForEachMatch(normalized.atoms(), db, Binding{},
-               [&](const Binding& binding) {
-                 if (FiltersPass(normalized, db, binding)) {
-                   Tuple answer;
-                   answer.reserve(normalized.head_terms().size());
-                   for (const Term& t : normalized.head_terms()) {
-                     answer.push_back(ResolveTerm(t, binding));
-                   }
-                   result.Insert(answer);
-                 }
-                 return true;
-               });
+  ForEachMatch(
+      normalized.atoms(), db, Binding{},
+      [&](const Binding& binding) {
+        if (FiltersPass(normalized, db, binding)) {
+          Tuple answer;
+          answer.reserve(normalized.head_terms().size());
+          for (const Term& t : normalized.head_terms()) {
+            answer.push_back(ResolveTerm(t, binding));
+          }
+          result.Insert(answer);
+        }
+        return true;
+      },
+      nullptr, options);
   return result;
 }
 
 Relation EvaluateUcq(const UnionQuery& q, const Instance& db) {
+  return EvaluateUcq(q, db, MatcherOptions{});
+}
+
+Relation EvaluateUcq(const UnionQuery& q, const Instance& db,
+                     const MatcherOptions& options) {
   VQDR_CHECK(!q.empty()) << "evaluating empty UCQ";
   Relation result(q.head_arity());
   for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
-    result = result.Union(EvaluateCq(disjunct, db));
+    result = result.Union(EvaluateCq(disjunct, db, options));
   }
   return result;
 }
 
 bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
                       const Tuple& tuple, guard::Budget* budget) {
-  return CqAnswerContains(q, db, tuple, budget, nullptr);
+  return CqAnswerContains(q, db, tuple, budget, nullptr, MatcherOptions{});
 }
 
 bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
                       const Tuple& tuple, guard::Budget* budget,
                       Binding* witness) {
+  return CqAnswerContains(q, db, tuple, budget, witness, MatcherOptions{});
+}
+
+bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
+                      const Tuple& tuple, guard::Budget* budget,
+                      Binding* witness, const MatcherOptions& options) {
   VQDR_COUNTER_INC("cq.answer_contains.calls");
   VQDR_CHECK_EQ(static_cast<int>(tuple.size()), q.head_arity());
   VQDR_CHECK(q.IsSafe()) << "evaluating unsafe query: " << q.ToString();
@@ -238,7 +240,7 @@ bool CqAnswerContains(const ConjunctiveQuery& q, const Instance& db,
         }
         return true;
       },
-      budget);
+      budget, options);
   return found;
 }
 

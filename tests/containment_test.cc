@@ -2,9 +2,13 @@
 // (Chandra–Merlin [9] and Sagiv–Yannakakis machinery used throughout the
 // paper's Section 3).
 
+#include <sstream>
+
 #include <gtest/gtest.h>
 
+#include "cq/canonical.h"
 #include "cq/containment.h"
+#include "cq/matcher.h"
 #include "cq/minimize.h"
 #include "cq/parser.h"
 
@@ -161,6 +165,59 @@ TEST_F(ContainmentFixture, MinimizeUcqKeepsOneOfEquivalentPair) {
   UnionQuery min = MinimizeUcq(q);
   EXPECT_EQ(min.disjuncts().size(), 1u);
   EXPECT_TRUE(UcqEquivalent(q, min));
+}
+
+// --- Golden verdict+witness fixtures (DESIGN.md §12) ---
+//
+// Recorded from the seed matcher. The containment witness is the FIRST
+// homomorphism in enumeration order, so these pin the exact enumeration
+// sequence: any engine change that alters it — even to another valid
+// witness — is a contract break, not a refactor.
+
+std::string RenderWitness(const Binding& witness) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [var, value] : witness) {
+    if (!first) os << " ";
+    first = false;
+    os << var << "=" << value.id;
+  }
+  return os.str();
+}
+
+TEST_F(ContainmentFixture, GoldenTriangleIntoWalkWitness) {
+  ConjunctiveQuery triangle = Cq("Q(x) :- E(x, y), E(y, z), E(z, x)");
+  ConjunctiveQuery walk = Cq("Q(x) :- E(x, u), E(u, v)");
+  ValueFactory factory;
+  FrozenQuery pattern = Freeze(triangle, factory);
+  Binding witness;
+  ASSERT_TRUE(CqAnswerContains(walk, pattern.instance, pattern.frozen_head,
+                               nullptr, &witness));
+  EXPECT_EQ(RenderWitness(witness), "u=2 v=3 x=1");
+}
+
+TEST_F(ContainmentFixture, GoldenRedundantAtomFoldWitness) {
+  ConjunctiveQuery redundant = Cq("Q(x) :- R(x, y), R(x, z)");
+  ConjunctiveQuery minimal = Cq("Q(x) :- R(x, y)");
+  ValueFactory factory;
+  FrozenQuery pattern = Freeze(minimal, factory);
+  Binding witness;
+  ASSERT_TRUE(CqAnswerContains(redundant, pattern.instance,
+                               pattern.frozen_head, nullptr, &witness));
+  EXPECT_EQ(RenderWitness(witness), "x=1 y=2 z=2");
+}
+
+TEST_F(ContainmentFixture, GoldenConstantAnchoredWitness) {
+  ConjunctiveQuery specific = Cq("Q(x) :- R(x, 'a'), S('a')");
+  ConjunctiveQuery general = Cq("Q(x) :- R(x, w)");
+  ValueFactory factory;
+  FrozenQuery pattern = Freeze(specific, factory);
+  Binding witness;
+  ASSERT_TRUE(CqAnswerContains(general, pattern.instance,
+                               pattern.frozen_head, nullptr, &witness));
+  EXPECT_EQ(RenderWitness(witness), "w=1 x=2");
+  EXPECT_FALSE(CqContainedIn(general, specific));
+  EXPECT_TRUE(CqContainedIn(specific, general));
 }
 
 }  // namespace

@@ -276,5 +276,39 @@ TEST_F(DeterminacyFixture, MinimizedRewritingStillRewrites) {
   }
 }
 
+// --- Golden verdict+witness fixtures (DESIGN.md §12) ---
+//
+// Recorded from the seed matcher. The canonical rewriting and the
+// containment witness below are byte-products of the matcher's enumeration
+// order (the chase picks the FIRST hom it finds), so any engine change that
+// shifts the order — even to an equally valid hom — breaks these fixtures.
+
+TEST_F(DeterminacyFixture, GoldenCanonicalRewritingBytes) {
+  ViewSet views = CqViews({"P1(x, y) :- E(x, y)",
+                           "P2(x, y) :- E(x, z), E(z, y)"});
+  ConjunctiveQuery q = Cq("Q(x, y) :- E(x, a), E(a, b), E(b, y)");
+  auto result = DecideUnrestrictedDeterminacy(views, q);
+  ASSERT_TRUE(result.determined);
+  ASSERT_TRUE(result.canonical_rewriting.has_value());
+  EXPECT_EQ(result.canonical_rewriting->ToString(), "Q(v1, v4) :- P1(v1, v2), P1(v2, v3), P1(v3, v4), "
+            "P2(v1, v3), P2(v2, v4)");
+}
+
+TEST_F(DeterminacyFixture, GoldenDeterminacyVerdictBattery) {
+  // Verdicts recorded from the seed: byte-stable regardless of engine.
+  ViewSet p2 = CqViews({"P2(x, y) :- E(x, z), E(z, y)"});
+  ViewSet p1p2 = CqViews({"P1(x, y) :- E(x, y)",
+                          "P2(x, y) :- E(x, z), E(z, y)"});
+  ViewSet p2p3 = CqViews({"P2(x, y) :- E(x, z), E(z, y)",
+                          "P3(x, y) :- E(x, a), E(a, b), E(b, y)"});
+  ConjunctiveQuery p3q = Cq("Q(x, y) :- E(x, a), E(a, b), E(b, y)");
+  ConjunctiveQuery p4q = Cq("Q(x, y) :- E(x, a), E(a, b), E(b, c), E(c, y)");
+  ConjunctiveQuery p1q = Cq("Q(x, y) :- E(x, y)");
+  EXPECT_FALSE(DecideUnrestrictedDeterminacy(p2, p3q).determined);
+  EXPECT_TRUE(DecideUnrestrictedDeterminacy(p1p2, p3q).determined);
+  EXPECT_TRUE(DecideUnrestrictedDeterminacy(p2p3, p4q).determined);
+  EXPECT_FALSE(DecideUnrestrictedDeterminacy(p2p3, p1q).determined);
+}
+
 }  // namespace
 }  // namespace vqdr

@@ -271,5 +271,130 @@ TEST_P(SeededProperty2, CanonicalRewritingFreezesBackToViewImage) {
   EXPECT_TRUE(AreIsomorphic(frozen.instance, det.canonical_view_image));
 }
 
+// --- Homomorphism laws through the matcher seam (DESIGN.md §12) ---
+
+// Composition: a hom b : Q1 → [Q2] and a hom h : [Q2] → I compose to a hom
+// h∘b : Q1 → I. Checked two ways: atom-by-atom membership of the composed
+// image, and the matcher finding a hom Q1 → I on its own.
+TEST_P(SeededProperty2, HomomorphismCompositionLaw) {
+  Rng rng(GetParam());
+  RandomCqOptions options;
+  options.min_atoms = 2;
+  options.max_atoms = 4;
+  options.variable_pool = 3;
+  ConjunctiveQuery q2 = RandomCq(rng, options);
+  // Draw Q1 smaller than Q2 so a hom Q1 -> [Q2] usually exists.
+  options.min_atoms = 1;
+  options.max_atoms = 2;
+  options.variable_pool = 2;
+  ConjunctiveQuery q1 = RandomCq(rng, options);
+
+  ValueFactory factory;
+  FrozenQuery frozen = Freeze(q2, factory);
+
+  std::optional<Binding> b;
+  ForEachMatch(q1.atoms(), frozen.instance, Binding{},
+               [&b](const Binding& found) {
+                 b = found;
+                 return false;
+               });
+  if (!b.has_value()) GTEST_SKIP() << "no hom Q1 -> [Q2]";
+
+  // Dense target so a hom [Q2] -> I usually exists (tiny domain ⇒ most
+  // tuples present); retry a few densities before giving up.
+  std::optional<std::map<Value, Value>> h;
+  Instance i{frozen.instance.schema()};
+  for (int tuples = 8; tuples <= 32 && !h.has_value(); tuples *= 2) {
+    RandomInstanceOptions iopts;
+    iopts.domain_size = 2;
+    iopts.tuples_per_relation = tuples;
+    i = RandomInstance(frozen.instance.schema(), rng, iopts);
+    h = FindInstanceHomomorphism(frozen.instance, i);
+  }
+  if (!h.has_value()) GTEST_SKIP() << "no hom [Q2] -> I";
+
+  for (const Atom& atom : q1.atoms()) {
+    Tuple image;
+    for (const Term& t : atom.args) {
+      Value via_b = t.is_const() ? t.constant() : b->at(t.var());
+      auto hv = h->find(via_b);
+      image.push_back(hv != h->end() ? hv->second : via_b);
+    }
+    EXPECT_TRUE(i.Get(atom.predicate).Contains(image))
+        << atom.ToString() << " under h∘b, seed " << GetParam();
+  }
+
+  bool direct = false;
+  ForEachMatch(q1.atoms(), i, Binding{}, [&direct](const Binding&) {
+    direct = true;
+    return false;
+  });
+  EXPECT_TRUE(direct) << "composition exists but matcher found no Q1 -> I";
+}
+
+// Canonical-instance identity: Q maps into its own frozen body, and the
+// freezing assignment itself is the (unique, once pre-bound) witness with
+// head image frozen_head.
+TEST_P(SeededProperty2, CanonicalInstanceIdentity) {
+  Rng rng(GetParam());
+  RandomCqOptions options;
+  options.max_atoms = 3;
+  options.variable_pool = 4;
+  ConjunctiveQuery q = RandomCq(rng, options);
+
+  ValueFactory factory;
+  FrozenQuery frozen = Freeze(q, factory);
+
+  ASSERT_TRUE(
+      CqAnswerContains(q, frozen.instance, frozen.frozen_head))
+      << q.ToString();
+  // Pre-binding the full freezing assignment must yield exactly the
+  // identity match: the frozen assignment IS a hom Q -> [Q].
+  std::vector<Binding> matches;
+  ForEachMatch(q.atoms(), frozen.instance, frozen.var_to_value,
+               [&matches](const Binding& found) {
+                 matches.push_back(found);
+                 return true;
+               });
+  ASSERT_FALSE(matches.empty()) << q.ToString();
+  EXPECT_EQ(matches.front(), frozen.var_to_value) << q.ToString();
+}
+
+// Fingerprint invariance: an injective renaming of the instance's values
+// yields identical match verdicts and the renamed answer set.
+TEST_P(SeededProperty2, MatchVerdictsInvariantUnderIsomorphicRenaming) {
+  Rng rng(GetParam());
+  RandomCqOptions options;
+  options.max_atoms = 3;
+  options.variable_pool = 3;
+  ConjunctiveQuery q = RandomCq(rng, options);
+
+  RandomInstanceOptions iopts;
+  iopts.domain_size = 4;
+  iopts.tuples_per_relation = 8;
+  Instance d = RandomInstance(options.schema, rng, iopts);
+
+  auto rename = [](Value v) { return Value(v.id + 1000); };
+  Instance renamed(d.schema());
+  for (const RelationDecl& decl : d.schema().decls()) {
+    for (const Tuple& t : d.Get(decl.name).tuples()) {
+      Tuple image;
+      for (Value v : t) image.push_back(rename(v));
+      renamed.AddFact(decl.name, image);
+    }
+  }
+
+  Relation original = EvaluateCq(q, d);
+  Relation mapped = EvaluateCq(q, renamed);
+  ASSERT_EQ(original.tuples().size(), mapped.tuples().size());
+  Relation expected(original.arity());
+  for (const Tuple& t : original.tuples()) {
+    Tuple image;
+    for (Value v : t) image.push_back(rename(v));
+    expected.Insert(image);
+  }
+  EXPECT_EQ(expected, mapped) << q.ToString();
+}
+
 }  // namespace
 }  // namespace vqdr
