@@ -53,10 +53,14 @@ void FuzzInstance(std::string_view text) {
   vqdr::StatusOr<vqdr::Instance> inst =
       vqdr::ParseInstance(text, schema, pool);
   if (!inst.ok()) return;
-  // InstanceToString is a display format (braced tuple sets), not the fact
-  // list the parser accepts, so no re-parse here — just drive the printer
-  // over whatever the parser admitted.
-  (void)vqdr::InstanceToString(inst.value(), pool);
+  // InstanceToString prints the fact-list format the parser accepts back, so
+  // the full printer/parser fixpoint holds here too (empty relations are
+  // elided, which content-equality absorbs).
+  std::string printed = vqdr::InstanceToString(inst.value(), pool);
+  vqdr::StatusOr<vqdr::Instance> again =
+      vqdr::ParseInstance(printed, schema, pool);
+  if (!again.ok()) __builtin_trap();  // printer emitted unparseable text
+  if (vqdr::InstanceToString(again.value(), pool) != printed) __builtin_trap();
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+// libFuzzer harness for the vqdr-serve request protocol (svc/proto.h):
+// ParseRequest must never crash, hang, or trip UB on ANY byte string — it
+// returns a Status instead. On an accepted parse the harness additionally
+// checks the serialization invariants the wire contract promises:
+//
+//  * an accepted request re-serialized into a response envelope (the echoed
+//    id plus every string field pushed through AppendJson) must be valid
+//    JSON for obs::json::Parse — the escaper never emits a frame the
+//    service's own parser rejects;
+//  * SerializeResponse output must parse, and its "ok"/"code" fields must
+//    round-trip the Response they came from.
+//
+// Built two ways by fuzz/CMakeLists.txt:
+//   * fuzz_svc (Clang + -fsanitize=fuzzer): the coverage-guided run;
+//   * fuzz_svc_replay (any compiler, replay_main.cc): deterministic corpus
+//     replay for CI, `fuzz_svc_replay fuzz/corpus/svc`.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+#include "svc/proto.h"
+
+namespace {
+
+// The service reads line frames; cap harness inputs near the frame limit so
+// the fuzzer exercises the oversize path without megabyte memcpy noise.
+constexpr std::size_t kMaxInput = 1 << 14;
+
+void CheckResponseSerializes(const vqdr::svc::Response& response) {
+  std::string line = vqdr::svc::SerializeResponse(response);
+  std::string error;
+  std::optional<vqdr::obs::json::Value> parsed =
+      vqdr::obs::json::Parse(line, &error);
+  if (!parsed.has_value()) __builtin_trap();  // emitted unparseable JSON
+  const vqdr::obs::json::Value* ok = parsed->Find("ok");
+  if (ok == nullptr || !ok->IsBool() || ok->bool_value != response.ok) {
+    __builtin_trap();
+  }
+  if (!response.code.empty() &&
+      parsed->StringOr("code", "") != response.code) {
+    __builtin_trap();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > kMaxInput) return 0;
+  std::string_view line(reinterpret_cast<const char*>(data), size);
+
+  vqdr::StatusOr<vqdr::svc::Request> req = vqdr::svc::ParseRequest(line);
+  if (!req.ok()) {
+    // The rejection must itself serialize into a parseable frame — this is
+    // exactly what the server sends back for a hostile line.
+    CheckResponseSerializes(vqdr::svc::ErrorResponse(
+        "bad_request", req.status().message()));
+    return 0;
+  }
+
+  // Echo every parser-admitted string through the response path: the id
+  // verbatim (it is pre-serialized JSON) and the payload fields through the
+  // escaper. Any input that survives ParseRequest must survive this.
+  vqdr::svc::Response response;
+  response.id = req->id;
+  response.ok = true;
+  response.has_outcome = true;
+  std::string result = "{\"op\":";
+  vqdr::svc::AppendJson(req->op, &result);
+  result.append(",\"tenant\":");
+  vqdr::svc::AppendJson(req->tenant, &result);
+  result.append(",\"text\":");
+  vqdr::svc::AppendJson(req->text, &result);
+  result.append(",\"query\":");
+  vqdr::svc::AppendJson(req->query, &result);
+  result.append(",\"views\":[");
+  for (std::size_t i = 0; i < req->views.size(); ++i) {
+    if (i > 0) result.push_back(',');
+    vqdr::svc::AppendJson(req->views[i], &result);
+  }
+  result.append("],\"items\":");
+  result.append(std::to_string(req->items.size()));
+  result.push_back('}');
+  response.result_json = std::move(result);
+  CheckResponseSerializes(response);
+
+  vqdr::svc::Response rejection =
+      vqdr::svc::ErrorResponse("overloaded", "request rejected: overloaded");
+  rejection.id = req->id;
+  rejection.has_retry = true;
+  rejection.retry_after_ms = 25;
+  CheckResponseSerializes(rejection);
+  return 0;
+}

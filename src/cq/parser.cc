@@ -416,23 +416,47 @@ std::string UcqToString(const UnionQuery& q, const NamePool& pool) {
   return out.str();
 }
 
+namespace {
+
+// Whether `name` lexes back as a single identifier token (bare constant).
+bool IdentifierShaped(const std::string& name) {
+  if (name.empty()) return false;
+  char c0 = name[0];
+  if (!std::isalpha(static_cast<unsigned char>(c0)) && c0 != '_') return false;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::string InstanceToString(const Instance& instance, const NamePool& pool) {
   std::ostringstream out;
   for (const RelationDecl& d : instance.schema().decls()) {
     const Relation& rel = instance.Get(d.name);
-    out << "  " << d.name << " = {";
+    if (rel.tuples().empty()) continue;
+    out << "  ";
     bool first = true;
     for (const Tuple& t : rel.tuples()) {
       if (!first) out << ", ";
       first = false;
-      out << "(";
+      out << d.name << "(";
       for (std::size_t i = 0; i < t.size(); ++i) {
         if (i > 0) out << ", ";
-        out << pool.NameOf(t[i]);
+        // Bare when it lexes as one identifier, quoted otherwise; the quoted
+        // form has no escape, which is safe because no parser-reachable name
+        // contains a quote (the lexer stops a constant at the first ').
+        std::string name = pool.NameOf(t[i]);
+        if (IdentifierShaped(name)) {
+          out << name;
+        } else {
+          out << "'" << name << "'";
+        }
       }
       out << ")";
     }
-    out << "}\n";
+    out << "\n";
   }
   return out.str();
 }

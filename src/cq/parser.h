@@ -36,6 +36,11 @@ StatusOr<Instance> ParseInstance(std::string_view text, const Schema& schema,
 /// Pretty-prints with constant names resolved through `pool`.
 std::string CqToString(const ConjunctiveQuery& q, const NamePool& pool);
 std::string UcqToString(const UnionQuery& q, const NamePool& pool);
+
+/// Prints `instance` as a fact list ParseInstance accepts back — one line
+/// per nonempty relation, constants bare when identifier-shaped and
+/// 'quoted' otherwise — so serialize/parse round-trips (empty relations are
+/// elided; instances over the same schema compare by content).
 std::string InstanceToString(const Instance& instance, const NamePool& pool);
 
 }  // namespace vqdr

@@ -18,7 +18,8 @@ void SetCheckpointObserver(CheckpointObserver observer) {
   g_checkpoint_observer.store(observer, std::memory_order_release);
 }
 
-Budget::Budget(const BudgetSpec& spec) : spec_(spec) {
+Budget::Budget(const BudgetSpec& spec, Budget* parent)
+    : parent_(parent), spec_(spec) {
   if (spec_.wall_ms >= 0) {
     has_deadline_ = true;
     deadline_ = std::chrono::steady_clock::now() +
@@ -80,6 +81,14 @@ Outcome Budget::Checkpoint(std::uint64_t steps) {
       }
     }
   }
+
+  // Charge the shared envelope last so a child trip above never double-trips
+  // it; a stopped parent (its own limits, or a sibling-visible Cancel)
+  // propagates into this budget sticky — the tightest limit wins.
+  if (parent_ != nullptr) {
+    Outcome up = parent_->Checkpoint(steps);
+    if (up != Outcome::kComplete) return Trip(up);
+  }
   return Outcome::kComplete;
 }
 
@@ -90,6 +99,10 @@ Outcome Budget::NoteAtoms(std::uint64_t atoms) {
       atoms_.fetch_add(atoms, std::memory_order_relaxed) + atoms;
   if (spec_.max_atoms != 0 && used > spec_.max_atoms) {
     return Trip(Outcome::kMemoryBudgetExhausted);
+  }
+  if (parent_ != nullptr) {
+    Outcome up = parent_->NoteAtoms(atoms);
+    if (up != Outcome::kComplete) return Trip(up);
   }
   return Outcome::kComplete;
 }

@@ -24,6 +24,14 @@
 // from every worker. Once a limit trips the stop reason is sticky; every
 // later Checkpoint returns it immediately.
 //
+// Budgets compose: a Budget constructed with a parent charges every step and
+// atom against the parent as well, so a shared envelope (one batch, one
+// tenant, one service request) bounds the sum of its children while each
+// child keeps its own tighter per-item limits. The tightest limit wins —
+// whichever budget trips first stops the work — and a parent's sticky stop
+// propagates into the child at its next checkpoint (the reverse never
+// happens: one exhausted child does not stop its siblings).
+//
 // Under -DVQDR_GUARD=OFF (VQDR_GUARD_DISABLED) the class collapses to an
 // inline always-kComplete stub: the engine signatures keep compiling, the
 // checkpoints cost nothing, and budgets are documented as ignored.
@@ -71,8 +79,10 @@ class Budget {
   /// An unlimited budget (still cancellable).
   Budget() : Budget(BudgetSpec{}) {}
 
-  /// Arms the wall-clock deadline now.
-  explicit Budget(const BudgetSpec& spec);
+  /// Arms the wall-clock deadline now. `parent`, when non-null, is a shared
+  /// envelope also charged by every Checkpoint/NoteAtoms on this budget; it
+  /// must outlive this budget. A stopped parent stops this budget too.
+  explicit Budget(const BudgetSpec& spec, Budget* parent = nullptr);
 
   Budget(const Budget&) = delete;
   Budget& operator=(const Budget&) = delete;
@@ -118,6 +128,9 @@ class Budget {
 
   const BudgetSpec& spec() const { return spec_; }
 
+  /// The shared envelope this budget charges, or nullptr.
+  Budget* parent() const { return parent_; }
+
   /// Steps between amortized deadline checks.
   static constexpr std::uint64_t kClockStride = 64;
 
@@ -126,6 +139,7 @@ class Budget {
   /// softer reason); returns the latched value.
   Outcome Trip(Outcome o);
 
+  Budget* parent_ = nullptr;
   BudgetSpec spec_;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_;
@@ -143,7 +157,10 @@ inline void SetCheckpointObserver(CheckpointObserver) {}
 class Budget {
  public:
   Budget() = default;
-  explicit Budget(const BudgetSpec& spec) : spec_(spec) {}
+  explicit Budget(const BudgetSpec& spec, Budget* parent = nullptr)
+      : spec_(spec) {
+    (void)parent;
+  }
 
   Budget(const Budget&) = delete;
   Budget& operator=(const Budget&) = delete;
@@ -158,6 +175,7 @@ class Budget {
   std::uint64_t atoms_used() const { return 0; }
   bool AllowsChaseLevel(int) const { return true; }
   const BudgetSpec& spec() const { return spec_; }
+  Budget* parent() const { return nullptr; }
 
   static constexpr std::uint64_t kClockStride = 64;
 

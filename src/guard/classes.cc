@@ -1,0 +1,95 @@
+#include "guard/classes.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace vqdr::guard {
+
+namespace {
+
+std::int64_t TightenWall(std::int64_t a, std::int64_t b) {
+  if (a < 0) return b;
+  if (b < 0) return a;
+  return std::min(a, b);
+}
+
+std::uint64_t TightenCount(std::uint64_t a, std::uint64_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return std::min(a, b);
+}
+
+int TightenLevels(int a, int b) {
+  if (a < 0) return b;
+  if (b < 0) return a;
+  return std::min(a, b);
+}
+
+}  // namespace
+
+BudgetSpec TightenSpec(const BudgetSpec& a, const BudgetSpec& b) {
+  BudgetSpec out;
+  out.wall_ms = TightenWall(a.wall_ms, b.wall_ms);
+  out.max_steps = TightenCount(a.max_steps, b.max_steps);
+  out.max_atoms = TightenCount(a.max_atoms, b.max_atoms);
+  out.max_chase_levels = TightenLevels(a.max_chase_levels, b.max_chase_levels);
+  return out;
+}
+
+bool BudgetClass::TryAcquire() {
+  if (spec_.max_concurrent > 0) {
+    // Optimistic claim, roll back on overshoot: cheap for the common
+    // under-limit case and exact under contention.
+    int now = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (now > spec_.max_concurrent) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  } else {
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void BudgetClass::Release() {
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+BudgetClassTable::BudgetClassTable() {
+  BudgetClassSpec def;
+  def.name = "default";
+  Define(std::move(def));
+}
+
+void BudgetClassTable::Define(BudgetClassSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name = spec.name;
+  classes_[name] = std::make_unique<BudgetClass>(std::move(spec));
+}
+
+BudgetClass* BudgetClassTable::Find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : it->second.get();
+}
+
+BudgetClass& BudgetClassTable::Resolve(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!name.empty()) {
+    auto it = classes_.find(name);
+    if (it != classes_.end()) return *it->second;
+  }
+  return *classes_.at("default");
+}
+
+std::vector<std::string> BudgetClassTable::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(classes_.size());
+  for (const auto& [name, cls] : classes_) out.push_back(name);
+  return out;
+}
+
+}  // namespace vqdr::guard

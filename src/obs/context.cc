@@ -35,6 +35,20 @@ void InstallCheckpointObserver() {
   (void)installed;
 }
 
+// One guard check per call instead of four: the env-driven surfaces and
+// the guard->obs heartbeat bridge all initialize on the first top-level
+// operation of the process.
+void EnsureTelemetryInit() {
+  static const bool telemetry_initialized = [] {
+    InstallCheckpointObserver();
+    InitOpsDumpFromEnv();
+    InitLogFromEnv();
+    InitWatchdogFromEnv();
+    return true;
+  }();
+  (void)telemetry_initialized;
+}
+
 }  // namespace
 
 }  // namespace internal
@@ -42,22 +56,25 @@ void InstallCheckpointObserver() {
 OpScope::OpScope(OpKind kind, const char* label,
                  vqdr::guard::Budget* budget) {
   if (internal::t_current_op != nullptr) return;  // nested: passthrough
-  // One guard check per call instead of four: the env-driven surfaces and
-  // the guard->obs heartbeat bridge all initialize on the first top-level
-  // operation of the process.
-  static const bool telemetry_initialized = [] {
-    internal::InstallCheckpointObserver();
-    InitOpsDumpFromEnv();
-    InitLogFromEnv();
-    InitWatchdogFromEnv();
-    return true;
-  }();
-  (void)telemetry_initialized;
+  internal::EnsureTelemetryInit();
   slot_ = internal::RegisterOp(kind, label, budget);
   internal::BindOpToThread(slot_.get());
   if (LogEnabled(LogLevel::kDebug)) {
     LogRecord(LogLevel::kDebug, "op.start")
         .Str("label", label)
+        .Str("kind", OpKindName(kind));
+  }
+}
+
+OpScope::OpScope(OpKind kind, std::string label,
+                 vqdr::guard::Budget* budget) {
+  if (internal::t_current_op != nullptr) return;  // nested: passthrough
+  internal::EnsureTelemetryInit();
+  slot_ = internal::RegisterOp(kind, std::move(label), budget);
+  internal::BindOpToThread(slot_.get());
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogRecord(LogLevel::kDebug, "op.start")
+        .Str("label", slot_->label)
         .Str("kind", OpKindName(kind));
   }
 }

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "obs/metrics.h"
 
@@ -48,6 +49,7 @@ enum class OpKind {
   kSearch,        // SearchDeterminacyCounterexample
   kMonotonicity,  // SearchMonotonicityViolation
   kBatch,         // DecideUnrestrictedDeterminacyBatch[Governed]
+  kService,       // one vqdr-serve request (svc::Service::Handle)
   kOther,
 };
 
@@ -68,6 +70,8 @@ inline const char* OpKindName(OpKind kind) {
       return "monotonicity";
     case OpKind::kBatch:
       return "batch";
+    case OpKind::kService:
+      return "service";
     case OpKind::kOther:
       return "other";
   }
@@ -88,8 +92,12 @@ namespace internal {
 struct OpSlot : std::enable_shared_from_this<OpSlot> {
   OpId id = 0;
   OpKind kind = OpKind::kOther;
-  /// Engine entry-point name; must be a string literal.
+  /// Engine entry-point name; a string literal, or (for dynamically labeled
+  /// ops, e.g. per-request service labels) a pointer into owned_label.
   const char* label = "";
+  /// Backing storage when the label is built at runtime; set only at
+  /// registration, never mutated while the slot is live.
+  std::string owned_label;
   /// Microseconds since the telemetry epoch at registration.
   std::uint64_t start_us = 0;
   /// Liveness ticks: guard checkpoints, progress strides, pool progress.
@@ -153,6 +161,10 @@ class OpScope {
  public:
   OpScope(OpKind kind, const char* label,
           vqdr::guard::Budget* budget = nullptr);
+  /// Dynamically labeled variant (per-request service ops): the label is
+  /// copied into the op slot, so it need not outlive the call.
+  OpScope(OpKind kind, std::string label,
+          vqdr::guard::Budget* budget = nullptr);
   ~OpScope();
 
   OpScope(const OpScope&) = delete;
@@ -209,6 +221,7 @@ inline void OpHeartbeat(std::uint64_t = 1) {}
 class OpScope {
  public:
   OpScope(OpKind, const char*, vqdr::guard::Budget* = nullptr) {}
+  OpScope(OpKind, std::string, vqdr::guard::Budget* = nullptr) {}
   OpScope(const OpScope&) = delete;
   OpScope& operator=(const OpScope&) = delete;
   OpId id() const { return 0; }

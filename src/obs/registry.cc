@@ -190,8 +190,11 @@ ThreadSlot* EnsureThreadSlot() {
 // or a watchdog holding the old op force a fresh allocation.
 thread_local std::shared_ptr<OpSlot> t_slot_cache;
 
-std::shared_ptr<OpSlot> RegisterOp(OpKind kind, const char* label,
-                                   vqdr::guard::Budget* budget) {
+namespace {
+
+// Fetches (or cache-reuses) a zeroed slot; the caller sets kind/label and
+// finishes registration via LinkOp.
+std::shared_ptr<OpSlot> AcquireOpSlot() {
   std::shared_ptr<OpSlot> slot;
   if (t_slot_cache != nullptr && t_slot_cache.use_count() == 1) {
     slot = t_slot_cache;
@@ -204,8 +207,12 @@ std::shared_ptr<OpSlot> RegisterOp(OpKind kind, const char* label,
     slot = std::make_shared<OpSlot>();
     t_slot_cache = slot;
   }
+  return slot;
+}
+
+void LinkOp(const std::shared_ptr<OpSlot>& slot, OpKind kind,
+            vqdr::guard::Budget* budget) {
   slot->kind = kind;
-  slot->label = label != nullptr ? label : "";
   slot->start_us = TelemetryNowUs();
   slot->phase.store(slot->label, std::memory_order_relaxed);
   slot->budget.store(budget, std::memory_order_relaxed);
@@ -221,6 +228,28 @@ std::shared_ptr<OpSlot> RegisterOp(OpKind kind, const char* label,
     r.head = slot.get();
   }
   r.tail = slot.get();
+}
+
+}  // namespace
+
+std::shared_ptr<OpSlot> RegisterOp(OpKind kind, const char* label,
+                                   vqdr::guard::Budget* budget) {
+  std::shared_ptr<OpSlot> slot = AcquireOpSlot();
+  slot->owned_label.clear();
+  slot->label = label != nullptr ? label : "";
+  LinkOp(slot, kind, budget);
+  return slot;
+}
+
+std::shared_ptr<OpSlot> RegisterOp(OpKind kind, std::string label,
+                                   vqdr::guard::Budget* budget) {
+  std::shared_ptr<OpSlot> slot = AcquireOpSlot();
+  // The owned string backs both label and the initial phase pointer; it is
+  // written only here, before the slot is linked and becomes visible to
+  // snapshot readers.
+  slot->owned_label = std::move(label);
+  slot->label = slot->owned_label.c_str();
+  LinkOp(slot, kind, budget);
   return slot;
 }
 

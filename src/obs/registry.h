@@ -103,8 +103,12 @@ void InitOpsDumpFromEnv();
 std::uint64_t TelemetryNowUs();
 
 namespace internal {
-/// OpScope registration seam (context.cc only).
+/// OpScope registration seam (context.cc only). The const char* variant
+/// requires a string literal; the std::string variant copies the label into
+/// the slot for dynamically named ops.
 std::shared_ptr<OpSlot> RegisterOp(OpKind kind, const char* label,
+                                   vqdr::guard::Budget* budget);
+std::shared_ptr<OpSlot> RegisterOp(OpKind kind, std::string label,
                                    vqdr::guard::Budget* budget);
 void UnregisterOp(const std::shared_ptr<OpSlot>& op);
 /// Appends one op as a JSON object (shared with the watchdog's reports).

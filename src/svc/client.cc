@@ -1,0 +1,102 @@
+#include "svc/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace vqdr::svc {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+StatusOr<Client> Client::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Internal("connect(" + socket_path +
+                            ") failed: " + std::strerror(errno));
+  }
+  Client c;
+  c.fd_ = fd;
+  return c;
+}
+
+StatusOr<std::string> Client::Call(std::string_view request_line,
+                                   std::uint64_t timeout_ms) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  std::string frame(request_line);
+  frame.push_back('\n');
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    // MSG_NOSIGNAL: a server that closed the connection (idle timeout,
+    // shutdown) must surface as an error status, not SIGPIPE the caller.
+    ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("write failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  char chunk[4096];
+  while (true) {
+    std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    if (timeout_ms != 0) {
+      pollfd p{fd_, POLLIN, 0};
+      int rc = ::poll(&p, 1, static_cast<int>(timeout_ms));
+      if (rc == 0) return Status::Error("response timed out");
+      if (rc < 0 && errno != EINTR) {
+        return Status::Internal("poll failed");
+      }
+      if (rc < 0) continue;
+    }
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n == 0) return Status::Error("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("read failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace vqdr::svc

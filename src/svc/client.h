@@ -1,0 +1,46 @@
+#ifndef VQDR_SVC_CLIENT_H_
+#define VQDR_SVC_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+// Minimal blocking client for the vqdr-serve line protocol, used by the
+// vqdr-client CLI and the end-to-end tests. One connection, one in-flight
+// call at a time (the protocol answers in request order, so pipelining is
+// possible — this client just doesn't need it).
+
+namespace vqdr::svc {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the server's Unix socket.
+  static StatusOr<Client> Connect(const std::string& socket_path);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request line and reads one response line. `timeout_ms`
+  /// bounds the wait for the response (0 = wait forever).
+  StatusOr<std::string> Call(std::string_view request_line,
+                             std::uint64_t timeout_ms = 0);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last response line
+};
+
+}  // namespace vqdr::svc
+
+#endif  // VQDR_SVC_CLIENT_H_

@@ -1,0 +1,127 @@
+// vqdr-client: one-shot CLI for the vqdr-serve line protocol.
+//
+// Usage:
+//   vqdr-client --socket=PATH [--raw] [--timeout-ms=N] [REQUEST_JSON]
+//
+// With a REQUEST_JSON argument, sends that single request and prints the
+// response. Without one, reads request lines from stdin and prints one
+// response line per request (blank lines skipped). --raw unwraps
+// result.body from the response — `vqdr-client --socket=S --raw
+// '{"op":"metrics"}'` prints the Prometheus text exposition directly, ready
+// for a scrape pipe.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/json.h"
+#include "svc/client.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH [--raw] [--timeout-ms=N] "
+               "[REQUEST_JSON]\n",
+               argv0);
+}
+
+// Prints the response; with raw, prints result.body (or result as a string)
+// instead of the envelope. Returns false for transport-level failure.
+bool PrintResponse(const std::string& line, bool raw) {
+  if (!raw) {
+    std::printf("%s\n", line.c_str());
+    return true;
+  }
+  std::string error;
+  std::optional<vqdr::obs::json::Value> parsed =
+      vqdr::obs::json::Parse(line, &error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "vqdr-client: unparseable response: %s\n",
+                 error.c_str());
+    std::printf("%s\n", line.c_str());
+    return true;
+  }
+  const vqdr::obs::json::Value* result = parsed->Find("result");
+  if (result == nullptr) {
+    // Errors and rejections have no result; show the envelope.
+    std::printf("%s\n", line.c_str());
+    return true;
+  }
+  const vqdr::obs::json::Value* body = result->Find("body");
+  if (body != nullptr && body->IsString()) {
+    // Body carries its own trailing newline (Prometheus exposition).
+    std::fputs(body->string_value.c_str(), stdout);
+    return true;
+  }
+  std::printf("%s\n", line.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string request;
+  bool raw = false;
+  bool have_request = false;
+  std::uint64_t timeout_ms = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(std::strlen("--socket="));
+    } else if (arg == "--raw") {
+      raw = true;
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      timeout_ms = std::strtoull(
+          arg.c_str() + std::strlen("--timeout-ms="), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    } else {
+      request = arg;
+      have_request = true;
+    }
+  }
+  if (socket_path.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  vqdr::StatusOr<vqdr::svc::Client> client =
+      vqdr::svc::Client::Connect(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "vqdr-client: %s\n",
+                 client.status().message().c_str());
+    return 1;
+  }
+
+  auto call = [&](const std::string& line) -> int {
+    vqdr::StatusOr<std::string> response =
+        client.value().Call(line, timeout_ms);
+    if (!response.ok()) {
+      std::fprintf(stderr, "vqdr-client: %s\n",
+                   response.status().message().c_str());
+      return 1;
+    }
+    PrintResponse(response.value(), raw);
+    return 0;
+  };
+
+  if (have_request) return call(request);
+
+  std::string line;
+  int rc = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    rc = call(line);
+    if (rc != 0) break;
+  }
+  return rc;
+}

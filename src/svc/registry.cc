@@ -1,0 +1,22 @@
+#include "svc/registry.h"
+
+namespace vqdr::svc {
+
+void OpRegistry::Register(std::string name, Dispatch dispatch,
+                          Handler handler) {
+  entries_[std::move(name)] = Entry{dispatch, std::move(handler)};
+}
+
+const OpRegistry::Entry* OpRegistry::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> OpRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace vqdr::svc

@@ -1,0 +1,193 @@
+// vqdr-serve: long-running determinacy service over a Unix-domain socket.
+//
+// Usage:
+//   vqdr-serve --socket=/tmp/vqdr.sock [--threads=N] [--queue-limit=N]
+//              [--idle-timeout-ms=N] [--drain-timeout-ms=N]
+//              [--class=name:max_concurrent:wall_ms:max_steps:max_atoms]...
+//
+// SIGTERM/SIGINT trigger drain-then-exit: the listener stops accepting,
+// in-flight requests finish (bounded by --drain-timeout-ms), then the
+// process exits 0. Each --class defines a tenant admission class; requests
+// carry "tenant" to pick one (unknown tenants fall back to "default").
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "guard/classes.h"
+#include "svc/server.h"
+#include "svc/service.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  char b = 1;
+  (void)!::write(g_signal_pipe[1], &b, 1);
+}
+
+bool ParseLongField(const std::string& text, long long* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+// name:max_concurrent:wall_ms:max_steps:max_atoms — trailing fields optional.
+bool ParseClassSpec(const std::string& text,
+                    vqdr::guard::BudgetClassSpec* out) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t colon = text.find(':', start);
+    parts.push_back(text.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.empty() || parts[0].empty() || parts.size() > 5) return false;
+  out->name = parts[0];
+  long long v = 0;
+  if (parts.size() > 1) {
+    if (!ParseLongField(parts[1], &v) || v < 0) return false;
+    out->max_concurrent = static_cast<int>(v);
+  }
+  if (parts.size() > 2) {
+    if (!ParseLongField(parts[2], &v)) return false;
+    out->cap.wall_ms = v;
+  }
+  if (parts.size() > 3) {
+    if (!ParseLongField(parts[3], &v) || v < 0) return false;
+    out->cap.max_steps = static_cast<std::uint64_t>(v);
+  }
+  if (parts.size() > 4) {
+    if (!ParseLongField(parts[4], &v) || v < 0) return false;
+    out->cap.max_atoms = static_cast<std::uint64_t>(v);
+  }
+  return true;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket=PATH [--threads=N] [--queue-limit=N]\n"
+      "          [--idle-timeout-ms=N] [--drain-timeout-ms=N]\n"
+      "          [--class=name:max_concurrent:wall_ms:max_steps:max_atoms]...\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vqdr::svc::ServiceOptions service_options;
+  vqdr::svc::ServerOptions server_options;
+  std::vector<vqdr::guard::BudgetClassSpec> classes;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> const char* {
+      std::size_t n = std::strlen(prefix);
+      if (arg.compare(0, n, prefix) == 0) return arg.c_str() + n;
+      return nullptr;
+    };
+    long long v = 0;
+    if (const char* val = value_of("--socket=")) {
+      server_options.socket_path = val;
+    } else if (const char* val = value_of("--threads=")) {
+      if (!ParseLongField(val, &v) || v < 0) {
+        Usage(argv[0]);
+        return 2;
+      }
+      service_options.threads = static_cast<int>(v);
+    } else if (const char* val = value_of("--queue-limit=")) {
+      if (!ParseLongField(val, &v) || v < 1) {
+        Usage(argv[0]);
+        return 2;
+      }
+      service_options.queue_limit = static_cast<int>(v);
+    } else if (const char* val = value_of("--idle-timeout-ms=")) {
+      if (!ParseLongField(val, &v) || v < 0) {
+        Usage(argv[0]);
+        return 2;
+      }
+      server_options.idle_timeout_ms = static_cast<std::uint64_t>(v);
+    } else if (const char* val = value_of("--drain-timeout-ms=")) {
+      if (!ParseLongField(val, &v) || v < 0) {
+        Usage(argv[0]);
+        return 2;
+      }
+      server_options.drain_timeout_ms = static_cast<std::uint64_t>(v);
+    } else if (const char* val = value_of("--class=")) {
+      vqdr::guard::BudgetClassSpec spec;
+      if (!ParseClassSpec(val, &spec)) {
+        std::fprintf(stderr, "bad --class spec: %s\n", val);
+        return 2;
+      }
+      classes.push_back(std::move(spec));
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (server_options.socket_path.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  if (::pipe(g_signal_pipe) < 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = OnSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // a dead client must not kill the daemon
+
+  vqdr::svc::Service service(service_options);
+  for (vqdr::guard::BudgetClassSpec& spec : classes) {
+    service.classes().Define(std::move(spec));
+  }
+  vqdr::svc::Server server(service, server_options);
+  vqdr::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "vqdr-serve: %s\n", started.message().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "vqdr-serve: listening on %s (threads=%d)\n",
+               server.socket_path().c_str(), service.options().threads);
+
+  // Park until a signal arrives, then drain and exit.
+  pollfd p{g_signal_pipe[0], POLLIN, 0};
+  while (true) {
+    int rc = ::poll(&p, 1, -1);
+    if (rc > 0) break;
+    if (rc < 0 && errno != EINTR) break;
+  }
+  std::fprintf(stderr, "vqdr-serve: draining (in_flight=%llu)\n",
+               static_cast<unsigned long long>(service.in_flight()));
+  server.Shutdown();
+  const vqdr::svc::ServiceStats stats = service.stats();
+  std::fprintf(stderr,
+               "vqdr-serve: exit accepted=%llu completed=%llu "
+               "overloaded=%llu draining=%llu\n",
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.rejected_overloaded),
+               static_cast<unsigned long long>(stats.rejected_draining));
+  return 0;
+}

@@ -300,5 +300,29 @@ TEST_F(CqFixture, ParseInstanceErrors) {
   EXPECT_TRUE(ParseInstance("", schema, pool_).ok());
 }
 
+// InstanceToString prints the fact-list format ParseInstance accepts back:
+// serialize -> parse -> serialize is a string fixpoint. Covers bare
+// identifier-shaped constants, quoted constants with spaces/digits-first
+// names, zero-ary facts, and elided empty relations.
+TEST_F(CqFixture, InstanceToStringRoundTrips) {
+  Schema schema{{"R", 2}, {"P", 1}, {"Flag", 0}, {"Empty", 1}};
+  const char* corpus[] = {
+      "R(a, b), R(b, c), P(a)",
+      "R('some const', b), P('123')",
+      "Flag(), R(x1, _under), P('quoted name')",
+      "",
+      "P(a), P(b), P(a)",  // duplicate facts collapse to set semantics
+  };
+  for (const char* text : corpus) {
+    Instance first = Db(text, schema);
+    std::string printed = InstanceToString(first, pool_);
+    auto reparsed = ParseInstance(printed, schema, pool_);
+    ASSERT_TRUE(reparsed.ok())
+        << reparsed.status().message() << " in printed form: " << printed;
+    EXPECT_EQ(InstanceToString(reparsed.value(), pool_), printed)
+        << "not a fixpoint for: " << text;
+  }
+}
+
 }  // namespace
 }  // namespace vqdr
