@@ -20,6 +20,7 @@
 #include "gen/random_query.h"
 #include "gen/workloads.h"
 #include "memo/memo.h"
+#include "memo/snapshot.h"
 #include "memo/store.h"
 
 namespace vqdr {
@@ -186,6 +187,86 @@ void BM_MemoIsomorphSharing(benchmark::State& state) {
   ReportMemoCounters(state, cold_seconds, warm_seconds, delta);
 }
 BENCHMARK(BM_MemoIsomorphSharing)->Unit(benchmark::kMillisecond);
+
+// Cold boot vs warm boot (DESIGN.md §14): the restart story in one number.
+// Cold = a fresh process computes the determinacy slate from scratch. Warm =
+// a fresh process restores the snapshot image first, then serves the same
+// slate from hits. `warm_boot_speedup` is time-to-first-results cold over
+// warm (snapshot load included in the warm side); `snapshot_load_ms` and
+// `snapshot_bytes` price the restore itself.
+void BM_MemoSnapshotWarmBoot(benchmark::State& state) {
+  // A mixed first-batch: the ≠-laden containment slate (full Bell-number
+  // sweeps when cold, bool.v1 snapshot entries) plus a determinacy batch
+  // (chase work when cold, det.v1/chase.* snapshot entries). A cold boot
+  // computes all of it; a warm boot pays a snapshot load plus one
+  // exact-key lookup per item.
+  auto slate = ContainmentSlate();
+  std::vector<DeterminacyBatchItem> items;
+  for (int length = 3; length <= 5; ++length) {
+    DeterminacyBatchItem item;
+    item.views = PathViews(2);
+    item.query = ChainQuery(length);
+    items.push_back(item);
+  }
+
+  auto run_first_batch = [&](memo::MemoOptions memo_opts) {
+    CqContainmentOptions copts;
+    copts.memo = memo_opts;
+    for (const auto& [a, b] : slate) {
+      bool r = CqContainedIn(a, b, copts);
+      benchmark::DoNotOptimize(r);
+    }
+    auto d = DecideUnrestrictedDeterminacyBatch(items, /*threads=*/1,
+                                                memo_opts);
+    benchmark::DoNotOptimize(d);
+  };
+
+  // Yesterday's process: compute once with the memo on, snapshot the store.
+  memo::Store yesterday(4096);
+  run_first_batch({memo::Use::kOn, &yesterday});
+  memo::SnapshotIoStats image_stats;
+  std::string image = memo::SerializeSnapshot(yesterday, &image_stats);
+
+  // Cold boot: an empty store pays full compute for its first results.
+  double cold_seconds = SecondsPerRun([&] {
+    memo::Store store(4096);
+    run_first_batch({memo::Use::kOn, &store});
+  });
+
+  // Warm boot: restore the image, then serve the same first batch. The
+  // load is inside the timed region — it is the price of booting warm.
+  double load_seconds = 0;
+  std::uint64_t restored = 0;
+  std::uint64_t first_batch_hits = 0;
+  double warm_seconds = SecondsPerRun([&] {
+    memo::Store store(4096);
+    memo::SnapshotIoStats rstats = memo::DeserializeSnapshot(image, store);
+    restored = rstats.entries;
+    memo::StatsSnapshot before = store.Stats();
+    run_first_batch({memo::Use::kOn, &store});
+    first_batch_hits = store.Stats().Delta(before).hits;
+  });
+  load_seconds = SecondsPerRun([&] {
+    memo::Store store(4096);
+    auto rstats = memo::DeserializeSnapshot(image, store);
+    benchmark::DoNotOptimize(rstats.entries);
+  });
+
+  for (auto _ : state) {
+    memo::Store store(4096);
+    memo::SnapshotIoStats rstats = memo::DeserializeSnapshot(image, store);
+    benchmark::DoNotOptimize(rstats.entries);
+    run_first_batch({memo::Use::kOn, &store});
+  }
+
+  state.counters["warm_boot_speedup"] =
+      warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0;
+  state.counters["snapshot_entries"] = static_cast<double>(restored);
+  state.counters["snapshot_bytes"] = static_cast<double>(image.size());
+  state.counters["snapshot_load_ms"] = load_seconds * 1e3;
+  state.counters["first_batch_hits"] = static_cast<double>(first_batch_hits);
+}
+BENCHMARK(BM_MemoSnapshotWarmBoot)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace vqdr

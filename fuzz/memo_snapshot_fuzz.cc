@@ -1,0 +1,97 @@
+// libFuzzer harness for the memo snapshot loader (memo/snapshot.h):
+// DeserializeSnapshot must never crash, hang, over-allocate, or trip UB on
+// ANY byte string — hostile images are the load path's daily bread, since a
+// snapshot file survives process versions and disk corruption. Invariants
+// checked per input:
+//
+//  * a rejected image (corrupt) leaves the target store EXACTLY as it was
+//    (all-or-nothing install, never a partial load);
+//  * an accepted image re-serializes and re-loads cleanly with the same
+//    entry count (round-trip stability of everything we accepted);
+//  * accepted-entry count never exceeds the image's declared count.
+//
+// The engine codecs (cq.v1, ucq.v1, chase.*, det.v1) register from static
+// initializers in their own TUs; the reference table below forces those TUs
+// out of the static archives so the fuzzer exercises the real decoders, not
+// just the built-in bool codec.
+//
+// Built two ways by fuzz/CMakeLists.txt:
+//   * fuzz_memo_snapshot (Clang + -fsanitize=fuzzer): coverage-guided;
+//   * fuzz_memo_snapshot_replay (any compiler, replay_main.cc):
+//     deterministic corpus replay for CI,
+//     `fuzz_memo_snapshot_replay fuzz/corpus/memo_snapshot`.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/wire.h"
+#include "chase/chain.h"
+#include "chase/view_inverse.h"
+#include "core/determinacy.h"
+#include "cq/minimize.h"
+#include "memo/snapshot.h"
+#include "memo/store.h"
+
+namespace {
+
+// Snapshot images carry a 64 MiB per-entry cap; the interesting structure
+// lives in the first few hundred bytes, so keep fuzz inputs small.
+constexpr std::size_t kMaxInput = 1 << 16;
+
+// Forces the codec-owning TUs (minimize.cc, chain.cc, view_inverse.cc,
+// determinacy.cc) out of their static archives, running their registration
+// initializers. Volatile so the compiler cannot drop the table.
+[[maybe_unused]] void* const volatile kForceCodecRegistration[] = {
+    reinterpret_cast<void*>(&vqdr::MinimizeCq),
+    reinterpret_cast<void*>(
+        static_cast<vqdr::ChaseChain (*)(
+            const vqdr::ViewSet&, const vqdr::ConjunctiveQuery&,
+            const vqdr::ChaseChainOptions&, vqdr::ValueFactory&)>(
+            &vqdr::BuildChaseChain)),
+    reinterpret_cast<void*>(&vqdr::ViewInverse),
+    reinterpret_cast<void*>(&vqdr::DecideUnrestrictedDeterminacy),
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > kMaxInput) return 0;
+  std::string_view image(reinterpret_cast<const char*>(data), size);
+
+  // Roomy enough that a 64 KiB image (>= ~40 bytes per installable entry)
+  // can never force evictions — evictions would make the size checks below
+  // meaningless.
+  vqdr::memo::Store store(4096);
+  vqdr::memo::SnapshotIoStats stats =
+      vqdr::memo::DeserializeSnapshot(image, store);
+
+  if (stats.corrupt) {
+    // All-or-nothing: a rejected image installs nothing.
+    if (store.size() != 0) __builtin_trap();
+    if (stats.entries != 0) __builtin_trap();
+    return 0;
+  }
+
+  // Duplicate keys collapse (first install wins), so size is bounded by —
+  // not equal to — the accepted-entry count.
+  if (store.size() > stats.entries) __builtin_trap();
+
+  // Whatever we accepted must survive its own round trip: serialize the
+  // restored store and load that image into a second store.
+  vqdr::memo::SnapshotIoStats wstats;
+  std::string reimage = vqdr::memo::SerializeSnapshot(store, &wstats);
+  if (wstats.entries != store.size()) __builtin_trap();
+  if (wstats.skipped != 0) __builtin_trap();  // only codec'd types loaded
+
+  vqdr::memo::Store second(4096);
+  vqdr::memo::SnapshotIoStats rstats =
+      vqdr::memo::DeserializeSnapshot(reimage, second);
+  if (rstats.corrupt) __builtin_trap();  // we wrote a corrupt image
+  if (rstats.entries != wstats.entries) __builtin_trap();
+  if (rstats.skipped != 0) __builtin_trap();  // every codec round-trips
+  if (second.size() != store.size()) __builtin_trap();
+  return 0;
+}

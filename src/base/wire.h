@@ -1,0 +1,142 @@
+#ifndef VQDR_BASE_WIRE_H_
+#define VQDR_BASE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+// Minimal bounds-checked binary wire format for the memo snapshot codecs
+// (DESIGN.md §14): fixed-width little-endian integers and length-prefixed
+// byte strings. The Decoder never throws and never reads past its input —
+// any malformed read flips ok() to false and subsequent reads return zero
+// values, so codecs can decode unconditionally and check ok() once at the
+// end. Deliberately header-only and dependency-free so every layer (data,
+// cq, chase, core, memo, fuzz harnesses) can use it.
+
+namespace vqdr::wire {
+
+class Encoder {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  void I64(std::int64_t v) {
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));  // two's complement pass-through
+    U64(u);
+  }
+
+  void Str(std::string_view s) {
+    U64(s.size());
+    out_.append(s.data(), s.size());
+  }
+
+  void Raw(std::string_view s) { out_.append(s.data(), s.size()); }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::string_view in) : in_(in) {}
+
+  std::uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<std::uint8_t>(in_[pos_++]);
+  }
+
+  std::uint32_t U32() {
+    if (!Need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(in_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t U64() {
+    if (!Need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(in_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t I64() {
+    std::uint64_t u = U64();
+    std::int64_t v;
+    std::memcpy(&v, &u, sizeof(v));
+    return v;
+  }
+
+  std::string Str() {
+    std::uint64_t len = U64();
+    if (!ok_ || len > remaining()) {
+      ok_ = false;
+      return std::string();
+    }
+    return Bytes(static_cast<std::size_t>(len));
+  }
+
+  std::string Bytes(std::size_t n) {
+    if (!Need(n)) return std::string();
+    std::string s(in_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  /// Guards element-count loops: a claimed count whose elements (at
+  /// `min_elem_bytes` apiece, floored at 1) cannot fit in the remaining
+  /// input is a lie, so fail fast instead of looping.
+  bool CheckCount(std::uint64_t count, std::size_t min_elem_bytes = 1) {
+    if (min_elem_bytes == 0) min_elem_bytes = 1;
+    if (count > remaining() / min_elem_bytes + 1) ok_ = false;
+    return ok_;
+  }
+
+  std::size_t remaining() const { return in_.size() - pos_; }
+  bool AtEnd() const { return pos_ == in_.size(); }
+  bool ok() const { return ok_; }
+  void MarkBad() { ok_ = false; }
+
+ private:
+  bool Need(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace vqdr::wire
+
+#endif  // VQDR_BASE_WIRE_H_

@@ -12,7 +12,12 @@
 #include "obs/trace.h"
 
 #ifndef VQDR_MEMO_DISABLED
+#include <memory>
+
 #include "cq/fingerprint.h"
+#include "cq/serialize.h"
+#include "data/serialize.h"
+#include "memo/snapshot.h"
 #include "memo/store.h"
 #endif
 
@@ -27,6 +32,50 @@ struct CachedChaseChain {
   ChaseChain chain;
   std::int64_t end_next_id = 0;
 };
+
+// Snapshot codec (DESIGN.md §14). Only kComplete chains are ever installed
+// (see BuildChaseChain), so the outcome is not encoded: a decoded chain is
+// complete by construction, and the four level sequences share one length.
+std::string EncodeCachedChain(const CachedChaseChain& cached) {
+  wire::Encoder enc;
+  EncodeFrozenQuery(cached.chain.frozen_query, enc);
+  enc.U64(cached.chain.d.size());
+  for (std::size_t k = 0; k < cached.chain.d.size(); ++k) {
+    EncodeInstance(cached.chain.d[k], enc);
+    EncodeInstance(cached.chain.s[k], enc);
+    EncodeInstance(cached.chain.s_prime[k], enc);
+    EncodeInstance(cached.chain.d_prime[k], enc);
+  }
+  enc.I64(cached.end_next_id);
+  return enc.Take();
+}
+
+std::shared_ptr<const CachedChaseChain> DecodeCachedChain(
+    std::string_view payload) {
+  wire::Decoder dec(payload);
+  auto cached = std::make_shared<CachedChaseChain>();
+  if (!DecodeFrozenQuery(dec, &cached->chain.frozen_query)) return nullptr;
+  std::uint64_t levels = dec.U64();
+  if (!dec.CheckCount(levels, 64)) return nullptr;
+  for (std::uint64_t k = 0; k < levels; ++k) {
+    Instance d, s, sp, dp;
+    if (!DecodeInstance(dec, &d) || !DecodeInstance(dec, &s) ||
+        !DecodeInstance(dec, &sp) || !DecodeInstance(dec, &dp)) {
+      return nullptr;
+    }
+    cached->chain.d.push_back(std::move(d));
+    cached->chain.s.push_back(std::move(s));
+    cached->chain.s_prime.push_back(std::move(sp));
+    cached->chain.d_prime.push_back(std::move(dp));
+  }
+  cached->end_next_id = dec.I64();
+  if (!dec.ok() || !dec.AtEnd()) return nullptr;
+  return cached;
+}
+
+[[maybe_unused]] const bool kChainCodecRegistered =
+    memo::RegisterSnapshotType<CachedChaseChain>(
+        "chase.chain.v1", EncodeCachedChain, DecodeCachedChain);
 #endif
 
 ChaseChain BuildChaseChainImpl(const ViewSet& views, const ConjunctiveQuery& q,

@@ -9,7 +9,11 @@
 #include "obs/trace.h"
 
 #ifndef VQDR_MEMO_DISABLED
+#include <memory>
+
 #include "cq/fingerprint.h"
+#include "data/serialize.h"
+#include "memo/snapshot.h"
 #include "memo/store.h"
 #endif
 
@@ -32,6 +36,29 @@ struct CachedInverse {
   Instance result;
   std::int64_t end_next_id = 0;
 };
+
+// Snapshot codec (DESIGN.md §14): the instance plus the recorded factory
+// end state, so a warm-boot hit replays the same minting as the original.
+std::string EncodeCachedInverse(const CachedInverse& cached) {
+  wire::Encoder enc;
+  EncodeInstance(cached.result, enc);
+  enc.I64(cached.end_next_id);
+  return enc.Take();
+}
+
+std::shared_ptr<const CachedInverse> DecodeCachedInverse(
+    std::string_view payload) {
+  wire::Decoder dec(payload);
+  auto cached = std::make_shared<CachedInverse>();
+  if (!DecodeInstance(dec, &cached->result)) return nullptr;
+  cached->end_next_id = dec.I64();
+  if (!dec.ok() || !dec.AtEnd()) return nullptr;
+  return cached;
+}
+
+[[maybe_unused]] const bool kInverseCodecRegistered =
+    memo::RegisterSnapshotType<CachedInverse>(
+        "chase.vinv.v1", EncodeCachedInverse, DecodeCachedInverse);
 #endif
 
 Instance ViewInverseImpl(const ViewSet& views, const Instance& base,

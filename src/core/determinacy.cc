@@ -11,9 +11,13 @@
 #include "obs/trace.h"
 
 #ifndef VQDR_MEMO_DISABLED
+#include <memory>
 #include <string>
 
 #include "cq/fingerprint.h"
+#include "cq/serialize.h"
+#include "data/serialize.h"
+#include "memo/snapshot.h"
 #include "memo/store.h"
 #endif
 
@@ -24,6 +28,49 @@ namespace {
 UnrestrictedDeterminacyResult DecideUnrestrictedDeterminacyImpl(
     const ViewSet& views, const ConjunctiveQuery& q, guard::Budget* budget,
     obs::ExplainLog* explain);
+
+#ifndef VQDR_MEMO_DISABLED
+// Snapshot codec (DESIGN.md §14). Only kComplete results are installed, so
+// the outcome is implied; the verdict, both instances, the frozen head, and
+// the optional rewriting are encoded exactly.
+std::string EncodeDeterminacyResult(const UnrestrictedDeterminacyResult& r) {
+  wire::Encoder enc;
+  enc.U8(r.determined ? 1 : 0);
+  EncodeInstance(r.canonical_view_image, enc);
+  EncodeTuple(r.frozen_head, enc);
+  EncodeInstance(r.chase_inverse, enc);
+  enc.U8(r.canonical_rewriting.has_value() ? 1 : 0);
+  if (r.canonical_rewriting.has_value()) {
+    EncodeCq(*r.canonical_rewriting, enc);
+  }
+  return enc.Take();
+}
+
+std::shared_ptr<const UnrestrictedDeterminacyResult>
+DecodeDeterminacyResult(std::string_view payload) {
+  wire::Decoder dec(payload);
+  auto r = std::make_shared<UnrestrictedDeterminacyResult>();
+  std::uint8_t determined = dec.U8();
+  if (determined > 1) return nullptr;
+  r->determined = determined == 1;
+  if (!DecodeInstance(dec, &r->canonical_view_image)) return nullptr;
+  if (!DecodeTuple(dec, &r->frozen_head)) return nullptr;
+  if (!DecodeInstance(dec, &r->chase_inverse)) return nullptr;
+  std::uint8_t has_rewriting = dec.U8();
+  if (has_rewriting > 1) return nullptr;
+  if (has_rewriting == 1) {
+    ConjunctiveQuery rewriting;
+    if (!DecodeCq(dec, &rewriting)) return nullptr;
+    r->canonical_rewriting = std::move(rewriting);
+  }
+  if (!dec.ok() || !dec.AtEnd()) return nullptr;
+  return r;
+}
+
+[[maybe_unused]] const bool kDeterminacyCodecRegistered =
+    memo::RegisterSnapshotType<UnrestrictedDeterminacyResult>(
+        "det.v1", EncodeDeterminacyResult, DecodeDeterminacyResult);
+#endif
 
 void RecordDeterminacyMemoProbe(obs::ExplainLog* log, bool hit) {
   if (!obs::Wants(log)) return;

@@ -40,6 +40,10 @@ std::string DeterminacyReport::Summary() const {
   }
   if (!metrics.empty()) out << "\n[metrics] " << metrics.ToString();
   if (memo.any()) out << "\n[memo] " << memo.ToString();
+  // Snapshot load/flush/skip/corrupt events are process-lifetime facts, not
+  // per-battery deltas; surface them whenever any happened.
+  memo::SnapshotActivity snapshot = memo::GlobalSnapshotActivity();
+  if (snapshot.any()) out << "\n[memo] snapshot " << snapshot.ToString();
   return out.str();
 }
 

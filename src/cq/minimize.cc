@@ -4,15 +4,58 @@
 #include "cq/containment.h"
 
 #ifndef VQDR_MEMO_DISABLED
+#include <memory>
 #include <string>
 
 #include "cq/fingerprint.h"
+#include "cq/serialize.h"
+#include "memo/snapshot.h"
 #include "memo/store.h"
 #endif
 
 namespace vqdr {
 
 namespace {
+
+#ifndef VQDR_MEMO_DISABLED
+// Snapshot codecs for the minimized-query caches (DESIGN.md §14). Bump the
+// tag version if the CQ wire encoding ever changes.
+std::string EncodeCqPayload(const ConjunctiveQuery& q) {
+  wire::Encoder enc;
+  EncodeCq(q, enc);
+  return enc.Take();
+}
+
+std::shared_ptr<const ConjunctiveQuery> DecodeCqPayload(
+    std::string_view payload) {
+  wire::Decoder dec(payload);
+  auto q = std::make_shared<ConjunctiveQuery>();
+  if (!DecodeCq(dec, q.get()) || !dec.AtEnd()) return nullptr;
+  return q;
+}
+
+std::string EncodeUcqPayload(const UnionQuery& q) {
+  wire::Encoder enc;
+  EncodeUcq(q, enc);
+  return enc.Take();
+}
+
+std::shared_ptr<const UnionQuery> DecodeUcqPayload(std::string_view payload) {
+  wire::Decoder dec(payload);
+  auto q = std::make_shared<UnionQuery>();
+  // A cached minimized UCQ is never empty (MinimizeUcq checks), and an
+  // empty one would abort head_name() on a later hit; reject it here.
+  if (!DecodeUcq(dec, q.get()) || !dec.AtEnd() || q->empty()) return nullptr;
+  return q;
+}
+
+[[maybe_unused]] const bool kCqCodecRegistered =
+    memo::RegisterSnapshotType<ConjunctiveQuery>("cq.v1", EncodeCqPayload,
+                                                 DecodeCqPayload);
+[[maybe_unused]] const bool kUcqCodecRegistered =
+    memo::RegisterSnapshotType<UnionQuery>("ucq.v1", EncodeUcqPayload,
+                                           DecodeUcqPayload);
+#endif
 
 // Greedy atom removal. Order-independent up to isomorphism: every
 // equivalence-preserving removal sequence terminates in a core of q, and

@@ -1,0 +1,186 @@
+#include "cq/serialize.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/serialize.h"
+
+namespace vqdr {
+
+namespace {
+
+constexpr std::uint8_t kTermVar = 0;
+constexpr std::uint8_t kTermConst = 1;
+
+void EncodeAtom(const Atom& atom, wire::Encoder& enc) {
+  enc.Str(atom.predicate);
+  enc.U64(atom.args.size());
+  for (const Term& t : atom.args) EncodeTerm(t, enc);
+}
+
+bool DecodeAtom(wire::Decoder& dec, Atom* out) {
+  Atom atom;
+  atom.predicate = dec.Str();
+  std::uint64_t args = dec.U64();
+  if (!dec.ok() || atom.predicate.empty() || !dec.CheckCount(args, 2)) {
+    return false;
+  }
+  for (std::uint64_t i = 0; i < args; ++i) {
+    Term t;
+    if (!DecodeTerm(dec, &t)) return false;
+    atom.args.push_back(std::move(t));
+  }
+  *out = std::move(atom);
+  return true;
+}
+
+void EncodeComparison(const TermComparison& cmp, wire::Encoder& enc) {
+  EncodeTerm(cmp.lhs, enc);
+  EncodeTerm(cmp.rhs, enc);
+}
+
+bool DecodeComparison(wire::Decoder& dec, TermComparison* out) {
+  return DecodeTerm(dec, &out->lhs) && DecodeTerm(dec, &out->rhs);
+}
+
+}  // namespace
+
+void EncodeTerm(const Term& term, wire::Encoder& enc) {
+  if (term.is_var()) {
+    enc.U8(kTermVar);
+    enc.Str(term.var());
+  } else {
+    enc.U8(kTermConst);
+    enc.I64(term.constant().id);
+  }
+}
+
+bool DecodeTerm(wire::Decoder& dec, Term* out) {
+  std::uint8_t kind = dec.U8();
+  if (kind == kTermVar) {
+    std::string name = dec.Str();
+    if (!dec.ok() || name.empty()) return false;
+    *out = Term::Var(std::move(name));
+    return true;
+  }
+  if (kind == kTermConst) {
+    Value v(dec.I64());
+    if (!dec.ok()) return false;
+    *out = Term::Const(v);
+    return true;
+  }
+  return false;
+}
+
+void EncodeCq(const ConjunctiveQuery& q, wire::Encoder& enc) {
+  enc.Str(q.head_name());
+  enc.U64(q.head_terms().size());
+  for (const Term& t : q.head_terms()) EncodeTerm(t, enc);
+  enc.U64(q.atoms().size());
+  for (const Atom& a : q.atoms()) EncodeAtom(a, enc);
+  enc.U64(q.negated_atoms().size());
+  for (const Atom& a : q.negated_atoms()) EncodeAtom(a, enc);
+  enc.U64(q.equalities().size());
+  for (const TermComparison& c : q.equalities()) EncodeComparison(c, enc);
+  enc.U64(q.disequalities().size());
+  for (const TermComparison& c : q.disequalities()) EncodeComparison(c, enc);
+}
+
+bool DecodeCq(wire::Decoder& dec, ConjunctiveQuery* out) {
+  std::string head_name = dec.Str();
+  std::uint64_t head_terms = dec.U64();
+  if (!dec.ok() || head_name.empty() || !dec.CheckCount(head_terms, 2)) {
+    return false;
+  }
+  std::vector<Term> head;
+  for (std::uint64_t i = 0; i < head_terms; ++i) {
+    Term t;
+    if (!DecodeTerm(dec, &t)) return false;
+    head.push_back(std::move(t));
+  }
+  ConjunctiveQuery q(std::move(head_name), std::move(head));
+  std::uint64_t atoms = dec.U64();
+  if (!dec.CheckCount(atoms, 10)) return false;
+  for (std::uint64_t i = 0; i < atoms; ++i) {
+    Atom a;
+    if (!DecodeAtom(dec, &a)) return false;
+    q.AddAtom(std::move(a));
+  }
+  std::uint64_t negated = dec.U64();
+  if (!dec.CheckCount(negated, 10)) return false;
+  for (std::uint64_t i = 0; i < negated; ++i) {
+    Atom a;
+    if (!DecodeAtom(dec, &a)) return false;
+    q.AddNegatedAtom(std::move(a));
+  }
+  std::uint64_t equalities = dec.U64();
+  if (!dec.CheckCount(equalities, 4)) return false;
+  for (std::uint64_t i = 0; i < equalities; ++i) {
+    TermComparison c;
+    if (!DecodeComparison(dec, &c)) return false;
+    q.AddEquality(std::move(c.lhs), std::move(c.rhs));
+  }
+  std::uint64_t disequalities = dec.U64();
+  if (!dec.CheckCount(disequalities, 4)) return false;
+  for (std::uint64_t i = 0; i < disequalities; ++i) {
+    TermComparison c;
+    if (!DecodeComparison(dec, &c)) return false;
+    q.AddDisequality(std::move(c.lhs), std::move(c.rhs));
+  }
+  *out = std::move(q);
+  return true;
+}
+
+void EncodeUcq(const UnionQuery& q, wire::Encoder& enc) {
+  enc.U64(q.disjuncts().size());
+  for (const ConjunctiveQuery& d : q.disjuncts()) EncodeCq(d, enc);
+}
+
+bool DecodeUcq(wire::Decoder& dec, UnionQuery* out) {
+  std::uint64_t disjuncts = dec.U64();
+  if (!dec.CheckCount(disjuncts, 16)) return false;
+  UnionQuery q;
+  for (std::uint64_t i = 0; i < disjuncts; ++i) {
+    ConjunctiveQuery d;
+    if (!DecodeCq(dec, &d)) return false;
+    // AddDisjunct aborts on head mismatch; a forged payload must fail the
+    // decode instead.
+    if (!q.empty() &&
+        (d.head_name() != q.head_name() ||
+         d.head_arity() != q.head_arity())) {
+      return false;
+    }
+    q.AddDisjunct(std::move(d));
+  }
+  *out = std::move(q);
+  return true;
+}
+
+void EncodeFrozenQuery(const FrozenQuery& frozen, wire::Encoder& enc) {
+  EncodeInstance(frozen.instance, enc);
+  EncodeTuple(frozen.frozen_head, enc);
+  enc.U64(frozen.var_to_value.size());
+  for (const auto& [var, value] : frozen.var_to_value) {
+    enc.Str(var);
+    enc.I64(value.id);
+  }
+}
+
+bool DecodeFrozenQuery(wire::Decoder& dec, FrozenQuery* out) {
+  FrozenQuery frozen;
+  if (!DecodeInstance(dec, &frozen.instance)) return false;
+  if (!DecodeTuple(dec, &frozen.frozen_head)) return false;
+  std::uint64_t vars = dec.U64();
+  if (!dec.CheckCount(vars, 17)) return false;
+  for (std::uint64_t i = 0; i < vars; ++i) {
+    std::string var = dec.Str();
+    Value value(dec.I64());
+    if (!dec.ok() || var.empty()) return false;
+    frozen.var_to_value[var] = value;
+  }
+  *out = std::move(frozen);
+  return true;
+}
+
+}  // namespace vqdr

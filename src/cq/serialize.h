@@ -1,0 +1,30 @@
+#ifndef VQDR_CQ_SERIALIZE_H_
+#define VQDR_CQ_SERIALIZE_H_
+
+#include "base/wire.h"
+#include "cq/canonical.h"
+#include "cq/conjunctive_query.h"
+#include "cq/ucq.h"
+
+// Binary codecs for query objects, used by the memo snapshot (DESIGN.md
+// §14). Same contract as data/serialize.h: exact (variables by name,
+// constants by raw id), fully validated before any aborting builder runs,
+// decoders return false on malformed input.
+
+namespace vqdr {
+
+void EncodeTerm(const Term& term, wire::Encoder& enc);
+bool DecodeTerm(wire::Decoder& dec, Term* out);
+
+void EncodeCq(const ConjunctiveQuery& q, wire::Encoder& enc);
+bool DecodeCq(wire::Decoder& dec, ConjunctiveQuery* out);
+
+void EncodeUcq(const UnionQuery& q, wire::Encoder& enc);
+bool DecodeUcq(wire::Decoder& dec, UnionQuery* out);
+
+void EncodeFrozenQuery(const FrozenQuery& frozen, wire::Encoder& enc);
+bool DecodeFrozenQuery(wire::Decoder& dec, FrozenQuery* out);
+
+}  // namespace vqdr
+
+#endif  // VQDR_CQ_SERIALIZE_H_

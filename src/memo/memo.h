@@ -72,6 +72,34 @@ struct StatsSnapshot {
   }
 };
 
+/// Cumulative process-wide snapshot activity (DESIGN.md §14), for the
+/// [memo] report line and tests. All counts are monotone.
+struct SnapshotActivity {
+  std::uint64_t loads = 0;            // successful file loads
+  std::uint64_t loaded_entries = 0;   // entries restored into a store
+  std::uint64_t skipped_entries = 0;  // unknown-tag entries skipped on load
+  std::uint64_t corrupt = 0;          // load attempts rejected as corrupt
+  std::uint64_t flushes = 0;          // snapshot files written
+  std::uint64_t flushed_entries = 0;  // entries written across all flushes
+  std::uint64_t clean_skips = 0;      // flushes skipped (store unchanged)
+
+  bool any() const {
+    return loads + loaded_entries + skipped_entries + corrupt + flushes +
+               clean_skips >
+           0;
+  }
+
+  /// "loads=1/12 skipped=0 corrupt=0 flushes=3/12 clean_skips=1".
+  std::string ToString() const {
+    std::ostringstream out;
+    out << "loads=" << loads << "/" << loaded_entries
+        << " skipped=" << skipped_entries << " corrupt=" << corrupt
+        << " flushes=" << flushes << "/" << flushed_entries
+        << " clean_skips=" << clean_skips;
+    return out.str();
+  }
+};
+
 #ifndef VQDR_MEMO_DISABLED
 
 /// Process-wide switch; initialized from the VQDR_MEMO environment variable.
@@ -91,6 +119,9 @@ Store& ResolveStore(const MemoOptions& options);
 /// Stats of the process-wide store.
 StatsSnapshot GlobalStats();
 
+/// Cumulative snapshot load/flush activity (implemented in snapshot.cc).
+SnapshotActivity GlobalSnapshotActivity();
+
 /// RAII toggle for tests and benchmarks.
 class ScopedEnable {
  public:
@@ -109,6 +140,7 @@ inline bool Enabled() { return false; }
 inline void SetEnabled(bool) {}
 inline bool ResolveUse(const MemoOptions&) { return false; }
 inline StatsSnapshot GlobalStats() { return {}; }
+inline SnapshotActivity GlobalSnapshotActivity() { return {}; }
 
 class ScopedEnable {
  public:

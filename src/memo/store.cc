@@ -1,11 +1,14 @@
 #include "memo/store.h"
 
 #include <atomic>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <functional>
 #include <sstream>
 
 #include "base/check.h"
+#include "memo/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/obs_macros.h"
 
@@ -17,11 +20,8 @@ constexpr std::size_t kDefaultCapacity = 8192;
 
 std::size_t CapacityFromEnv() {
   const char* raw = std::getenv("VQDR_MEMO_CAPACITY");
-  if (raw == nullptr || *raw == '\0') return kDefaultCapacity;
-  char* end = nullptr;
-  unsigned long long parsed = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0' || parsed == 0) return kDefaultCapacity;
-  return static_cast<std::size_t>(parsed);
+  std::size_t parsed = ParseCapacityEnvValue(raw);
+  return parsed == 0 ? kDefaultCapacity : parsed;
 }
 
 bool EnabledFromEnv() {
@@ -39,12 +39,22 @@ std::atomic<bool>& EnabledFlag() {
 
 }  // namespace
 
+std::size_t ParseCapacityEnvValue(const char* raw) {
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (errno == ERANGE || end == raw || *end != '\0') return 0;
+  // A negative input wraps modulo 2^64 and "parses"; reject it like the
+  // overflow case. SIZE_MAX guards 32-bit size_t against a 64-bit parse.
+  if (*raw == '-' || parsed > SIZE_MAX) return 0;
+  return static_cast<std::size_t>(parsed);
+}
+
 Store::Store(std::size_t capacity, std::size_t shards)
     : capacity_(capacity == 0 ? 1 : capacity),
       shard_count_(shards == 0 ? 1 : shards) {
   if (shard_count_ > capacity_) shard_count_ = capacity_;
-  per_shard_capacity_ = capacity_ / shard_count_;
-  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
   shards_ = std::make_unique<Shard[]>(shard_count_);
 }
 
@@ -74,15 +84,36 @@ void Store::PutErased(const std::string& key,
   VQDR_CHECK(value != nullptr) << "memo::Store::Put: null value";
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.map.find(key) != shard.map.end()) {
-    // First install wins; the keying discipline guarantees any concurrent
-    // computation of the same key produced an equivalent value.
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    if (*it->second.type == type) {
+      // First install wins; the keying discipline guarantees any concurrent
+      // computation of the same key produced an equivalent value.
+      return;
+    }
+    // Cross-type collision: keeping the old entry would poison the slot
+    // forever (a Get of the new type misses, a Get of the old type can
+    // still hit, and every Put of the new type is dropped — the value is
+    // recomputed on every call). Replace in place; the previous value stays
+    // alive through any outstanding shared_ptr.
+    it->second.value = std::move(value);
+    it->second.type = &type;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    installs_.fetch_add(1, std::memory_order_relaxed);
+    VQDR_COUNTER_INC("memo.installs");
+    VQDR_COUNTER_INC("memo.type_replacements");
     return;
   }
-  while (shard.map.size() >= per_shard_capacity_) {
+  // Capacity is a global bound: evict from this shard's LRU tail until the
+  // whole store has room (an unlucky hash may leave this shard empty while
+  // others are full — then we insert anyway, a transient overshoot of at
+  // most shard_count_ - 1 under concurrency).
+  while (total_entries_.load(std::memory_order_relaxed) >= capacity_ &&
+         !shard.lru.empty()) {
     const std::string& victim = shard.lru.back();
     shard.map.erase(victim);
     shard.lru.pop_back();
+    total_entries_.fetch_sub(1, std::memory_order_relaxed);
     evictions_.fetch_add(1, std::memory_order_relaxed);
     VQDR_COUNTER_INC("memo.evictions");
   }
@@ -92,8 +123,24 @@ void Store::PutErased(const std::string& key,
   entry.type = &type;
   entry.lru_it = shard.lru.begin();
   shard.map.emplace(key, std::move(entry));
+  total_entries_.fetch_add(1, std::memory_order_relaxed);
   installs_.fetch_add(1, std::memory_order_relaxed);
   VQDR_COUNTER_INC("memo.installs");
+}
+
+std::vector<Store::ErasedEntry> Store::ExportEntries() const {
+  std::vector<ErasedEntry> out;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Walk the LRU list back to front so the export is oldest-first.
+    for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+      auto entry = shard.map.find(*it);
+      if (entry == shard.map.end()) continue;
+      out.push_back({entry->first, entry->second.value, entry->second.type});
+    }
+  }
+  return out;
 }
 
 StatsSnapshot Store::Stats() const {
@@ -110,6 +157,8 @@ StatsSnapshot Store::Stats() const {
 void Store::Clear() {
   for (std::size_t i = 0; i < shard_count_; ++i) {
     std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total_entries_.fetch_sub(shards_[i].map.size(),
+                             std::memory_order_relaxed);
     shards_[i].map.clear();
     shards_[i].lru.clear();
   }
@@ -143,7 +192,14 @@ bool ResolveUse(const MemoOptions& options) {
 }
 
 Store& GlobalStore() {
-  static Store* store = new Store(CapacityFromEnv());
+  static Store* store = [] {
+    Store* s = new Store(CapacityFromEnv());
+    // Warm boot: VQDR_MEMO_SNAPSHOT names an on-disk image to restore
+    // before the first request touches the store (DESIGN.md §14). A
+    // missing or corrupt file is a clean cold boot, never an error.
+    LoadSnapshotFromEnv(*s);
+    return s;
+  }();
   return *store;
 }
 

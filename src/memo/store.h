@@ -30,11 +30,16 @@ namespace vqdr::memo {
 ///    miss, never a reinterpretation.
 ///  - Entries are immutable once installed and handed out by shared_ptr, so a
 ///    hit stays valid even if the entry is evicted concurrently.
-///  - Put is first-install-wins: concurrent computations of the same key are
-///    deterministic (all callers computed the same value from the same key),
-///    so whichever install lands first is kept and the rest are dropped.
-///  - Capacity is split evenly across shards (min 1 per shard); eviction is
-///    least-recently-used within a shard.
+///  - Put is first-install-wins for the same type: concurrent computations of
+///    the same key are deterministic (all callers computed the same value from
+///    the same key), so whichever install lands first is kept and the rest are
+///    dropped. A Put under an existing key with a *different* type replaces
+///    the entry — leaving it would poison the slot forever (every Get of
+///    either type misses while every Put is dropped).
+///  - Capacity is accounted globally (effective capacity >= requested, never
+///    floored away by sharding); eviction is least-recently-used within the
+///    inserting shard. Concurrent inserts into distinct shards may transiently
+///    overshoot the bound by at most shard_count - 1 entries.
 class Store {
  public:
   static constexpr std::size_t kDefaultShards = 8;
@@ -52,7 +57,8 @@ class Store {
     return std::static_pointer_cast<const T>(erased);
   }
 
-  /// Installs `value` under `key` unless the key is already present.
+  /// Installs `value` under `key` unless the key is already present with the
+  /// same type; a differently-typed occupant is replaced.
   template <typename T>
   void Put(const std::string& key, T value) {
     PutErased(key, std::make_shared<const T>(std::move(value)), typeid(T));
@@ -62,6 +68,26 @@ class Store {
   void Clear();
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
+
+  /// One type-erased entry, as exported for snapshotting (DESIGN.md §14).
+  struct ErasedEntry {
+    std::string key;
+    std::shared_ptr<const void> value;
+    const std::type_info* type = nullptr;
+  };
+
+  /// A consistent-per-shard copy of every entry, ordered least-recently-used
+  /// first within each shard — re-installing in this order reproduces the
+  /// recency order, so a restored store evicts the same victims.
+  std::vector<ErasedEntry> ExportEntries() const;
+
+  /// Snapshot-restore entry point: same semantics as Put (first install wins
+  /// within a type, cross-type replaces), without needing the concrete T.
+  void InstallErased(const std::string& key,
+                     std::shared_ptr<const void> value,
+                     const std::type_info& type) {
+    PutErased(key, std::move(value), type);
+  }
 
  private:
   struct Entry {
@@ -83,9 +109,13 @@ class Store {
   Shard& ShardFor(const std::string& key);
 
   std::size_t capacity_;
-  std::size_t per_shard_capacity_;
   std::size_t shard_count_;
   std::unique_ptr<Shard[]> shards_;
+
+  // Global entry count for the capacity bound; relaxed is fine because every
+  // mutation happens under some shard lock and the bound tolerates the
+  // documented transient overshoot.
+  std::atomic<std::size_t> total_entries_{0};
 
   // Global monotone counters, relaxed: Stats() is a diagnostic snapshot.
   std::atomic<std::uint64_t> hits_{0};
@@ -93,6 +123,12 @@ class Store {
   std::atomic<std::uint64_t> installs_{0};
   std::atomic<std::uint64_t> evictions_{0};
 };
+
+/// Parses a VQDR_MEMO_CAPACITY-style value. Returns 0 for anything invalid —
+/// empty, trailing garbage, zero, or an out-of-range magnitude (strtoull
+/// clamps overflow to ULLONG_MAX with ERANGE; accepting that would make the
+/// store effectively unbounded). Exposed for the regression tests.
+std::size_t ParseCapacityEnvValue(const char* raw);
 
 }  // namespace vqdr::memo
 

@@ -3,12 +3,18 @@
 // Usage:
 //   vqdr-serve --socket=/tmp/vqdr.sock [--threads=N] [--queue-limit=N]
 //              [--idle-timeout-ms=N] [--drain-timeout-ms=N]
+//              [--memo-snapshot=PATH] [--memo-flush-ms=N]
 //              [--class=name:max_concurrent:wall_ms:max_steps:max_atoms]...
 //
 // SIGTERM/SIGINT trigger drain-then-exit: the listener stops accepting,
 // in-flight requests finish (bounded by --drain-timeout-ms), then the
 // process exits 0. Each --class defines a tenant admission class; requests
 // carry "tenant" to pick one (unknown tenants fall back to "default").
+//
+// --memo-snapshot (or the VQDR_MEMO_SNAPSHOT environment variable) makes
+// the memo store survive restarts: loaded at boot, flushed every
+// --memo-flush-ms (0 = only at drain and on the "snapshot" control op),
+// and written one final time after the SIGTERM drain completes.
 
 #include <csignal>
 #include <cstdint>
@@ -82,6 +88,7 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --socket=PATH [--threads=N] [--queue-limit=N]\n"
       "          [--idle-timeout-ms=N] [--drain-timeout-ms=N]\n"
+      "          [--memo-snapshot=PATH] [--memo-flush-ms=N]\n"
       "          [--class=name:max_concurrent:wall_ms:max_steps:max_atoms]...\n",
       argv0);
 }
@@ -127,6 +134,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       server_options.drain_timeout_ms = static_cast<std::uint64_t>(v);
+    } else if (const char* val = value_of("--memo-snapshot=")) {
+      service_options.memo_snapshot_path = val;
+    } else if (const char* val = value_of("--memo-flush-ms=")) {
+      if (!ParseLongField(val, &v) || v < 0) {
+        Usage(argv[0]);
+        return 2;
+      }
+      service_options.memo_flush_ms = static_cast<std::uint64_t>(v);
     } else if (const char* val = value_of("--class=")) {
       vqdr::guard::BudgetClassSpec spec;
       if (!ParseClassSpec(val, &spec)) {
@@ -170,6 +185,13 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "vqdr-serve: listening on %s (threads=%d)\n",
                server.socket_path().c_str(), service.options().threads);
+  if (!service.memo_snapshot_path().empty()) {
+    std::fprintf(stderr,
+                 "vqdr-serve: memo snapshot at %s (flush every %llu ms)\n",
+                 service.memo_snapshot_path().c_str(),
+                 static_cast<unsigned long long>(
+                     service.options().memo_flush_ms));
+  }
 
   // Park until a signal arrives, then drain and exit.
   pollfd p{g_signal_pipe[0], POLLIN, 0};

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <utility>
 
@@ -15,6 +16,11 @@
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "obs/watchdog.h"
+
+#ifndef VQDR_MEMO_DISABLED
+#include "memo/snapshot.h"
+#include "memo/store.h"
+#endif
 
 namespace vqdr::svc {
 
@@ -332,6 +338,25 @@ Service::Service(ServiceOptions options) : options_(std::move(options)) {
   pool_ = std::make_unique<par::ThreadPool>(options_.threads);
   if (options_.enable_memo) memo::SetEnabled(true);
   metrics_baseline_ = obs::SnapshotMetrics();
+#ifndef VQDR_MEMO_DISABLED
+  if (options_.enable_memo) {
+    const char* env = std::getenv("VQDR_MEMO_SNAPSHOT");
+    memo_snapshot_path_ = options_.memo_snapshot_path;
+    if (memo_snapshot_path_.empty() && env != nullptr) {
+      memo_snapshot_path_ = env;
+    }
+    if (!memo_snapshot_path_.empty()) {
+      // The first GlobalStore() touch runs the VQDR_MEMO_SNAPSHOT boot load;
+      // an explicit option path that differs is loaded on top of it.
+      memo::Store& store = memo::GlobalStore();
+      if (env == nullptr || memo_snapshot_path_ != env) {
+        memo::LoadSnapshot(store, memo_snapshot_path_);
+      }
+      memo_flusher_ = std::make_unique<memo::SnapshotFlusher>(
+          store, memo_snapshot_path_, options_.memo_flush_ms);
+    }
+  }
+#endif
   RegisterBuiltinOps();
   if (options_.cancel_stalled) {
     // The hook fires on the watchdog thread with the stalled op's identity;
@@ -362,7 +387,42 @@ Service::~Service() {
   BeginDrain();
   pool_->Wait();
   if (stall_hook_installed_) obs::SetStallCallback(nullptr);
+#ifndef VQDR_MEMO_DISABLED
+  // After the pool drained: the final snapshot flush sees every install the
+  // in-flight requests made. This is the SIGTERM drain-then-exit write.
+  memo_flusher_.reset();
+#endif
   pool_.reset();
+}
+
+Status Service::FlushMemoSnapshot(std::string* result_json) {
+#ifndef VQDR_MEMO_DISABLED
+  if (memo_flusher_ == nullptr) {
+    return Status::InvalidArgument(
+        "no memo snapshot configured (--memo-snapshot or "
+        "VQDR_MEMO_SNAPSHOT)");
+  }
+  memo::SnapshotIoStats io;
+  Status s = memo_flusher_->FlushNow(&io);
+  if (!s.ok()) return s;
+  if (result_json != nullptr) {
+    std::string out;
+    out.append("{\"path\":");
+    AppendJson(memo_snapshot_path_, &out);
+    out.append(",\"entries\":");
+    out.append(std::to_string(io.entries));
+    out.append(",\"skipped\":");
+    out.append(std::to_string(io.skipped));
+    out.append(",\"bytes\":");
+    out.append(std::to_string(io.bytes));
+    out.push_back('}');
+    *result_json = std::move(out);
+  }
+  return Status::Ok();
+#else
+  (void)result_json;
+  return Status::InvalidArgument("memo subsystem compiled out");
+#endif
 }
 
 ServiceStats Service::stats() const {
@@ -534,6 +594,19 @@ void Service::RegisterBuiltinOps() {
         result.append("\"body\":");
         AppendJson(body, &result);
         result.push_back('}');
+        Response r;
+        r.result_json = std::move(result);
+        return r;
+      });
+
+  registry_.Register(
+      "snapshot", Dispatch::kInline,
+      [this](const Request&, guard::Budget&) {
+        // Control plane (kInline): works during drain, so an operator can
+        // force a flush right before stopping the process.
+        std::string result;
+        Status s = FlushMemoSnapshot(&result);
+        if (!s.ok()) return ErrorResponse("no_snapshot", s.message());
         Response r;
         r.result_json = std::move(result);
         return r;

@@ -48,6 +48,9 @@ namespace vqdr {
 struct UnrestrictedDeterminacyResult;
 struct ContainmentResult;
 struct ChaseChain;
+namespace memo {
+class SnapshotFlusher;
+}  // namespace memo
 }  // namespace vqdr
 
 namespace vqdr::svc {
@@ -73,6 +76,18 @@ struct ServiceOptions {
   /// byte-identically, so served results stay exact. false leaves the
   /// VQDR_MEMO runtime default untouched.
   bool enable_memo = true;
+
+  /// Memo snapshot file backing warm restarts (DESIGN.md §14). "" falls back
+  /// to the VQDR_MEMO_SNAPSHOT environment variable; both empty = no
+  /// persistence. When set, the snapshot is loaded at construction and
+  /// written by the background flusher, at drain, and by the "snapshot"
+  /// control op. Requires enable_memo.
+  std::string memo_snapshot_path;
+
+  /// Background snapshot flush interval in milliseconds. 0 = no background
+  /// thread — the snapshot is still written at drain and on the "snapshot"
+  /// control op.
+  std::uint64_t memo_flush_ms = 0;
 };
 
 /// Counters the tests and the "stats" operation read.
@@ -119,6 +134,16 @@ class Service {
 
   const ServiceOptions& options() const { return options_; }
 
+  /// Writes the memo snapshot now (the "snapshot" control op and the test
+  /// seam). On success *result_json gets {"path":...,"entries":N,...};
+  /// fails when no snapshot path is configured or the write itself fails.
+  Status FlushMemoSnapshot(std::string* result_json);
+
+  /// The resolved snapshot path ("" = persistence off).
+  const std::string& memo_snapshot_path() const {
+    return memo_snapshot_path_;
+  }
+
  private:
   struct Job;
 
@@ -132,6 +157,15 @@ class Service {
   OpRegistry registry_;
   guard::BudgetClassTable classes_;
   std::unique_ptr<par::ThreadPool> pool_;
+
+  // Warm-restart persistence: null when no snapshot path is configured. The
+  // flusher is reset in the destructor AFTER the pool drains, which is the
+  // flush-on-SIGTERM-drain final write. (The path stays "" and the flusher
+  // member disappears when the memo subsystem is compiled out.)
+  std::string memo_snapshot_path_;
+#ifndef VQDR_MEMO_DISABLED
+  std::unique_ptr<memo::SnapshotFlusher> memo_flusher_;
+#endif
 
   std::atomic<bool> draining_{false};
   std::atomic<std::size_t> in_flight_{0};

@@ -9,11 +9,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "chase/chain.h"
+#include "memo/memo.h"
+
+#ifndef VQDR_MEMO_DISABLED
+#include "memo/snapshot.h"
+#include "memo/store.h"
+#endif
 #include "core/determinacy.h"
 #include "cq/containment.h"
 #include "cq/parser.h"
@@ -168,6 +176,88 @@ TEST(SvcSoak, MixedConcurrentRequestsByteIdenticalAndHangFree) {
   EXPECT_EQ(stats.rejected_overloaded, 0u);
   EXPECT_EQ(stats.internal_errors, 0u);
   EXPECT_EQ(service.in_flight(), 0u);
+}
+
+// The snapshot-flusher soak (tsan): mixed concurrent traffic while the
+// background flusher serializes the shared store every millisecond, plus
+// concurrent "snapshot" control ops. Every flushed image a prober loads
+// must be structurally valid, and byte-identity must hold throughout.
+TEST(SvcSoak, BackgroundSnapshotFlushUnderLoadStaysConsistent) {
+#ifdef VQDR_MEMO_DISABLED
+  GTEST_SKIP() << "memo subsystem compiled out";
+#else
+  constexpr int kClientThreads = 6;
+  constexpr int kRequestsPerThread = 128;
+
+  const std::string path =
+      ::testing::TempDir() + "vqdr_svc_soak_flush.bin";
+  std::remove(path.c_str());
+  memo::GlobalStore().Clear();
+
+  ServiceOptions options;
+  options.threads = 4;
+  options.queue_limit = 64;
+  options.memo_snapshot_path = path;
+  options.memo_flush_ms = 1;
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> corrupt_images{0};
+  {
+    Service service(options);
+    const std::vector<SoakCase> cases = BuildMixedCases();
+    std::vector<Request> parsed;
+    parsed.reserve(cases.size());
+    for (const SoakCase& c : cases) parsed.push_back(MustParse(c.line));
+    Request snapshot_op = MustParse("{\"op\":\"snapshot\"}");
+
+    std::vector<std::thread> clients;
+    clients.reserve(kClientThreads);
+    for (int t = 0; t < kClientThreads; ++t) {
+      clients.emplace_back([&, t] {
+        for (int i = 0; i < kRequestsPerThread; ++i) {
+          // Every 32nd request of one thread is an explicit snapshot op,
+          // racing the periodic flusher on purpose.
+          if (t == 0 && i % 32 == 31) {
+            Response s = service.Handle(snapshot_op);
+            if (!s.ok) mismatches.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          const std::size_t which = (t + i) % cases.size();
+          Response r = service.Handle(parsed[which]);
+          if (!r.ok || !r.has_outcome ||
+              r.outcome != guard::Outcome::kComplete ||
+              r.result_json != cases[which].expected_result) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    // Prober: every image the flusher lands must load cleanly.
+    std::atomic<bool> stop{false};
+    std::thread prober([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        memo::Store probe(8192);
+        memo::SnapshotIoStats stats = memo::LoadSnapshot(probe, path);
+        if (stats.corrupt) {
+          corrupt_images.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+    for (std::thread& c : clients) c.join();
+    stop.store(true, std::memory_order_release);
+    prober.join();
+  }  // Service destructor: drain + final flush
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(corrupt_images.load(), 0);
+  // The final image restores into a fresh store without damage.
+  memo::Store fresh(8192);
+  memo::SnapshotIoStats final_stats = memo::LoadSnapshot(fresh, path);
+  EXPECT_FALSE(final_stats.corrupt) << final_stats.error;
+  EXPECT_GE(final_stats.entries, 1u);
+  std::remove(path.c_str());
+#endif
 }
 
 TEST(SvcSoak, OverloadNeverDropsOrFabricates) {

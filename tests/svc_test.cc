@@ -6,17 +6,25 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <optional>
 #include <string>
+
+#include <sys/stat.h>
 
 #include "core/determinacy.h"
 #include "cq/containment.h"
 #include "cq/parser.h"
 #include "guard/budget.h"
 #include "guard/outcome.h"
+#include "memo/memo.h"
 #include "obs/json.h"
 #include "svc/proto.h"
 #include "svc/service.h"
+
+#ifndef VQDR_MEMO_DISABLED
+#include "memo/store.h"
+#endif
 
 namespace vqdr::svc {
 namespace {
@@ -372,6 +380,80 @@ TEST(SvcService, MetricsOperationExportsPrometheusDelta) {
   ASSERT_NE(body, nullptr);
   EXPECT_TRUE(body->IsString());
 }
+
+TEST(SvcService, SnapshotOpWithoutPathIsStructuredError) {
+  Service service;  // no memo_snapshot_path, no VQDR_MEMO_SNAPSHOT
+  Response r = service.Handle(MustParse("{\"op\":\"snapshot\"}"));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, "no_snapshot");
+}
+
+#ifndef VQDR_MEMO_DISABLED
+
+TEST(SvcService, SnapshotOpWritesTheConfiguredFile) {
+  std::string path = ::testing::TempDir() + "vqdr_svc_snapshot_op.bin";
+  std::remove(path.c_str());
+  memo::GlobalStore().Clear();
+
+  ServiceOptions options;
+  options.memo_snapshot_path = path;
+  Service service(options);
+  EXPECT_EQ(service.memo_snapshot_path(), path);
+  (void)service.Handle(MustParse(kDeterminedRequest));
+
+  Response r = service.Handle(MustParse("{\"op\":\"snapshot\",\"id\":7}"));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.id, "7");
+  std::optional<obs::json::Value> v = MustJson(r.result_json);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->StringOr("path", ""), path);
+  EXPECT_GE(v->IntOr("entries", 0), 1);
+  EXPECT_GT(v->IntOr("bytes", 0), 0);
+
+  struct stat st{};
+  EXPECT_EQ(::stat(path.c_str(), &st), 0);
+  std::remove(path.c_str());
+}
+
+// The warm-restart contract in process: service A computes and flushes at
+// destruction (the SIGTERM drain path), service B boots from the snapshot
+// and serves the same request byte-identically from a memo hit, never
+// re-running the engine.
+TEST(SvcService, WarmRestartServesByteIdenticalFromSnapshot) {
+  std::string path = ::testing::TempDir() + "vqdr_svc_warm_restart.bin";
+  std::remove(path.c_str());
+  memo::GlobalStore().Clear();
+
+  ServiceOptions options;
+  options.memo_snapshot_path = path;
+  std::string cold_result;
+  {
+    Service a(options);
+    Response r = a.Handle(MustParse(kDeterminedRequest));
+    ASSERT_TRUE(r.ok);
+    cold_result = r.result_json;
+  }  // destructor drain writes the final snapshot
+
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0) << "drain must have flushed";
+
+  // "Restart": the process-wide store is emptied, then service B's
+  // constructor loads the snapshot back.
+  memo::GlobalStore().Clear();
+  ASSERT_EQ(memo::GlobalStore().size(), 0u);
+  Service b(options);
+  ASSERT_GE(memo::GlobalStore().size(), 1u) << "boot load restored nothing";
+
+  memo::StatsSnapshot before = memo::GlobalStats();
+  Response warm = b.Handle(MustParse(kDeterminedRequest));
+  ASSERT_TRUE(warm.ok);
+  memo::StatsSnapshot delta = memo::GlobalStats().Delta(before);
+  EXPECT_GE(delta.hits, 1u) << "warm boot must serve from the snapshot";
+  EXPECT_EQ(warm.result_json, cold_result);
+  std::remove(path.c_str());
+}
+
+#endif  // VQDR_MEMO_DISABLED
 
 }  // namespace
 }  // namespace vqdr::svc
